@@ -1,0 +1,78 @@
+// Command spiderbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	spiderbench -experiment fig4          # one experiment
+//	spiderbench -all -quick               # full suite, shrunken workloads
+//	spiderbench -list                     # available experiment ids
+//
+// Each experiment prints an aligned table whose rows mirror the data the
+// paper plots; the accompanying note records the expected shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		expID  = flag.String("experiment", "", "experiment id to run (see -list)")
+		all    = flag.Bool("all", false, "run every experiment")
+		quick  = flag.Bool("quick", false, "shrink workloads for a fast pass")
+		seed   = flag.Int64("seed", 1, "random seed (runs are deterministic per seed)")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		verify = flag.Bool("verify", false, "check every paper claim against regenerated artifacts")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	params := experiments.Params{Seed: *seed, Quick: *quick}
+	if *verify {
+		lines, failures := experiments.VerifyAll(params)
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		if failures > 0 {
+			fmt.Printf("\n%d claim(s) failed\n", failures)
+			os.Exit(1)
+		}
+		fmt.Println("\nall claims hold")
+		return
+	}
+	switch {
+	case *all:
+		for _, id := range experiments.IDs() {
+			if id == "fig12" || id == "fig17" {
+				continue // aliases of fig11/fig13
+			}
+			runOne(id, params)
+		}
+	case *expID != "":
+		runOne(*expID, params)
+	default:
+		fmt.Fprintln(os.Stderr, "spiderbench: need -experiment <id>, -all, or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(id string, params experiments.Params) {
+	t0 := time.Now()
+	rep, err := experiments.Run(id, params)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spiderbench: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Render(os.Stdout)
+	fmt.Printf("(%s finished in %v)\n\n", id, time.Since(t0).Round(time.Millisecond))
+}

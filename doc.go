@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Mining Top-K Large
+// Structural Patterns in a Massive Network" (Zhu, Qu, Lo, Yan, Han, Yu;
+// PVLDB 4(11), 2011) — the SpiderMine algorithm, every baseline it is
+// evaluated against (SUBDUE, SEuS, MoSS/gSpan-style complete mining,
+// ORIGAMI), the synthetic workload generators of the evaluation, and a
+// harness that regenerates every table and figure.
+//
+// Start with README.md for the layout, DESIGN.md for the system inventory
+// and per-experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The root package contains only the benchmark harness
+// (bench_test.go); the implementation lives under internal/.
+package repro

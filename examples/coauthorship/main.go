@@ -1,0 +1,61 @@
+// Co-authorship analysis (the paper's DBLP scenario, §C.2): mine large
+// collaborative patterns from a co-authorship network whose authors carry
+// seniority labels, and contrast with what SUBDUE finds.
+//
+// Run with: go run ./examples/coauthorship
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/miner/subdue"
+	"repro/internal/spidermine"
+	"repro/internal/support"
+)
+
+var seniority = map[int32]string{0: "Prolific", 1: "Senior", 2: "Junior", 3: "Beginner"}
+
+func main() {
+	g, injected := gen.DBLPLike(gen.DBLPConfig{
+		Authors: 2000, // scaled-down network; Scale=1 in the benches
+		Seed:    7,
+	})
+	fmt.Printf("co-authorship network: %v\n", g)
+	fmt.Printf("planted collaborative motifs: %d (sizes", len(injected))
+	for _, p := range injected {
+		fmt.Printf(" %d", p.N())
+	}
+	fmt.Println(")")
+
+	res := spidermine.Mine(g, spidermine.Config{
+		MinSupport: 4, K: 10, Dmax: 6, Epsilon: 0.1, Seed: 7,
+		Measure: support.HarmfulOverlap, // overlapping embeddings are rife with 4 labels
+	})
+	fmt.Printf("\nSpiderMine top collaborative patterns (σ=4, K=10):\n")
+	for i, p := range res.Patterns {
+		if i >= 5 {
+			break
+		}
+		counts := map[int32]int{}
+		for v := 0; v < p.NV(); v++ {
+			counts[int32(p.G.Label(int32(v)))]++
+		}
+		fmt.Printf("  #%d: %2d authors, %2d collaborations, %d groups —", i+1, p.NV(), p.Size(), len(p.Emb))
+		for l := int32(0); l < 4; l++ {
+			if counts[l] > 0 {
+				fmt.Printf(" %d %s", counts[l], seniority[l])
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\nSUBDUE on the same network (for contrast):\n")
+	sd := subdue.Mine(g, subdue.Config{MinSupport: 4, MaxBest: 5})
+	for i, s := range sd {
+		fmt.Printf("  #%d: %2d authors, %2d collaborations, %d instances\n",
+			i+1, s.P.NV(), s.P.Size(), s.Instances)
+	}
+	fmt.Println("\nAs in the paper: only the large patterns distinguish research communities;")
+	fmt.Println("small patterns (several authors on one paper) are ubiquitous and uninformative.")
+}

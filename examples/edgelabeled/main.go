@@ -1,0 +1,88 @@
+// Edge-labeled mining (paper §3: "Our method can also be applied to
+// graphs with edge labels"): a chemistry-flavored demo where bond types
+// (single/double) are edge labels. Each labeled edge is subdivided by a
+// midpoint vertex carrying the bond label; SpiderMine runs on the encoded
+// graph; results decode back to edge-labeled patterns.
+//
+// Run with: go run ./examples/edgelabeled
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/spidermine"
+)
+
+// atom labels
+const (
+	C graph.Label = 0 // carbon
+	O graph.Label = 1 // oxygen
+	N graph.Label = 2 // nitrogen
+)
+
+// bond labels
+const (
+	single graph.Label = 0
+	double graph.Label = 1
+)
+
+func main() {
+	var (
+		labels  []graph.Label
+		edges   []graph.Edge
+		elabels []graph.Label
+	)
+	addAtom := func(l graph.Label) graph.V {
+		labels = append(labels, l)
+		return graph.V(len(labels) - 1)
+	}
+	addBond := func(u, w graph.V, bond graph.Label) {
+		edges = append(edges, graph.Edge{U: u, W: w})
+		elabels = append(elabels, bond)
+	}
+	// Plant 3 copies of a carboxyl-like motif: C(=O)-O with an N attached
+	// by a single bond.
+	for i := 0; i < 3; i++ {
+		c := addAtom(C)
+		o1 := addAtom(O)
+		o2 := addAtom(O)
+		n := addAtom(N)
+		addBond(c, o1, double)
+		addBond(c, o2, single)
+		addBond(c, n, single)
+	}
+	// Random molecular noise.
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 20; i++ {
+		a := addAtom(graph.Label(rng.Intn(3)))
+		b := addAtom(graph.Label(rng.Intn(3)))
+		addBond(a, b, graph.Label(rng.Intn(2)))
+	}
+	enc, err := graph.EncodeEdgeLabels(labels, edges, elabels, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("encoded molecule graph: %v (distances doubled by subdivision)\n\n", enc)
+
+	// Dmax doubles under the encoding: the motif has diameter 2, so 4.
+	res := spidermine.Mine(enc, spidermine.Config{
+		MinSupport: 3, K: 3, Dmax: 4, Seed: 1,
+	})
+	bondName := map[graph.Label]string{single: "-", double: "="}
+	atomName := map[graph.Label]string{C: "C", O: "O", N: "N"}
+	for i, p := range res.Patterns {
+		vl, de, dangling, err := graph.DecodeEdgeLabels(p.G, 0)
+		if err != nil {
+			fmt.Printf("pattern %d does not decode (%v), skipping\n", i+1, err)
+			continue
+		}
+		fmt.Printf("pattern %d (%d occurrences, %d dangling half-bonds):\n", i+1, len(p.Emb), dangling)
+		for _, e := range de {
+			fmt.Printf("  %s%d %s %s%d\n",
+				atomName[vl[e.U]], e.U, bondName[e.Label], atomName[vl[e.W]], e.W)
+		}
+	}
+	fmt.Println("\nthe carboxyl-like motif (C=O, C-O, C-N) is recovered with its bond types.")
+}

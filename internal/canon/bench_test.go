@@ -1,0 +1,62 @@
+package canon
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func benchGraph(n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	return randomGraph(n, 2*n, 4, rng)
+}
+
+func BenchmarkInvariant(b *testing.B) {
+	g := benchGraph(50, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Invariant(g)
+	}
+}
+
+func BenchmarkIsomorphicPositive(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := benchGraph(30, 2)
+	h := permute(g, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Isomorphic(g, h) {
+			b.Fatal("should match")
+		}
+	}
+}
+
+func BenchmarkIsomorphicNegative(b *testing.B) {
+	g := benchGraph(30, 3)
+	h := benchGraph(30, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Isomorphic(g, h)
+	}
+}
+
+func BenchmarkCanonicalCode(b *testing.B) {
+	g := benchGraph(20, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CanonicalCode(g)
+	}
+}
+
+func BenchmarkCountEmbeddings(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	host := randomGraph(200, 500, 3, rng)
+	pat := path(0, 1, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountEmbeddings(pat, host, 0)
+	}
+}

@@ -1,0 +1,297 @@
+package canon
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// permute returns g with vertices relabeled by a random permutation.
+func permute(g *graph.Graph, rng *rand.Rand) *graph.Graph {
+	n := g.N()
+	perm := rng.Perm(n)
+	b := graph.NewBuilder(n, g.M())
+	inv := make([]graph.V, n) // old -> new
+	for newV := 0; newV < n; newV++ {
+		// vertex at new position newV is old vertex perm[newV]
+		b.AddVertex(g.Label(graph.V(perm[newV])))
+	}
+	for newV, oldV := range perm {
+		inv[oldV] = graph.V(newV)
+	}
+	for _, e := range g.Edges() {
+		b.AddEdge(inv[e.U], inv[e.W])
+	}
+	return b.Build()
+}
+
+func randomGraph(n, m, labels int, rng *rand.Rand) *graph.Graph {
+	b := graph.NewBuilder(n, m)
+	for i := 0; i < n; i++ {
+		b.AddVertex(graph.Label(rng.Intn(labels)))
+	}
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.V(rng.Intn(n)), graph.V(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+func path(labels ...graph.Label) *graph.Graph {
+	var edges []graph.Edge
+	for i := 0; i+1 < len(labels); i++ {
+		edges = append(edges, graph.Edge{U: graph.V(i), W: graph.V(i + 1)})
+	}
+	return graph.FromEdges(labels, edges)
+}
+
+func TestIsomorphicIdentical(t *testing.T) {
+	g := path(1, 2, 3)
+	if !Isomorphic(g, g) {
+		t.Fatal("graph not isomorphic to itself")
+	}
+}
+
+func TestIsomorphicPermuted(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(3+rng.Intn(12), 4+rng.Intn(20), 1+rng.Intn(4), rng)
+		h := permute(g, rng)
+		if !Isomorphic(g, h) {
+			t.Fatalf("trial %d: permuted graph not recognized as isomorphic\n%v\n%v", trial, g, h)
+		}
+		if Invariant(g) != Invariant(h) {
+			t.Fatalf("trial %d: invariant differs for isomorphic graphs", trial)
+		}
+	}
+}
+
+func TestNotIsomorphicLabelSwap(t *testing.T) {
+	a := path(1, 2, 3)
+	b := path(2, 1, 3)
+	// a has middle label 2; b has middle label 1 — different degree/label
+	// profiles.
+	if Isomorphic(a, b) {
+		t.Fatal("label-swapped paths should differ")
+	}
+}
+
+func TestNotIsomorphicStructure(t *testing.T) {
+	// P4 vs K1,3 (star): same labels, same size, different structure.
+	p4 := path(0, 0, 0, 0)
+	star := graph.FromEdges([]graph.Label{0, 0, 0, 0},
+		[]graph.Edge{{U: 0, W: 1}, {U: 0, W: 2}, {U: 0, W: 3}})
+	if Isomorphic(p4, star) {
+		t.Fatal("P4 and K1,3 claimed isomorphic")
+	}
+}
+
+func TestNotIsomorphicC6vs2C3LikePair(t *testing.T) {
+	// C6 vs two triangles sharing nothing is the classic WL-equivalent
+	// pair when disconnected; our matcher must still separate them.
+	c6 := graph.FromEdges([]graph.Label{0, 0, 0, 0, 0, 0},
+		[]graph.Edge{{U: 0, W: 1}, {U: 1, W: 2}, {U: 2, W: 3}, {U: 3, W: 4}, {U: 4, W: 5}, {U: 0, W: 5}})
+	cc := graph.FromEdges([]graph.Label{0, 0, 0, 0, 0, 0},
+		[]graph.Edge{{U: 0, W: 1}, {U: 1, W: 2}, {U: 0, W: 2}, {U: 3, W: 4}, {U: 4, W: 5}, {U: 3, W: 5}})
+	if Isomorphic(c6, cc) {
+		t.Fatal("C6 and 2xC3 claimed isomorphic")
+	}
+}
+
+func TestIsomorphismMappingValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(4+rng.Intn(10), 6+rng.Intn(15), 2, rng)
+		h := permute(g, rng)
+		m := IsomorphismMapping(g, h)
+		if m == nil {
+			t.Fatalf("trial %d: no mapping found for isomorphic graphs", trial)
+		}
+		// verify the mapping
+		for v := 0; v < g.N(); v++ {
+			if g.Label(graph.V(v)) != h.Label(m[v]) {
+				t.Fatal("mapping violates labels")
+			}
+		}
+		for _, e := range g.Edges() {
+			if !h.HasEdge(m[e.U], m[e.W]) {
+				t.Fatal("mapping violates adjacency")
+			}
+		}
+	}
+}
+
+func TestIsomorphismMappingNilForDifferent(t *testing.T) {
+	if IsomorphismMapping(path(0, 0, 0), path(0, 0, 1)) != nil {
+		t.Fatal("mapping for non-isomorphic graphs")
+	}
+}
+
+func TestCanonicalCodeEquality(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		g := randomGraph(3+rng.Intn(8), 3+rng.Intn(12), 1+rng.Intn(3), rng)
+		h := permute(g, rng)
+		if CanonicalCode(g) != CanonicalCode(h) {
+			t.Fatalf("trial %d: canonical codes differ for isomorphic graphs", trial)
+		}
+	}
+}
+
+func TestCanonicalCodeSeparates(t *testing.T) {
+	pairs := [][2]*graph.Graph{
+		{path(0, 0, 0, 0), graph.FromEdges([]graph.Label{0, 0, 0, 0},
+			[]graph.Edge{{U: 0, W: 1}, {U: 0, W: 2}, {U: 0, W: 3}})},
+		{path(1, 2, 3), path(2, 1, 3)},
+	}
+	for i, pr := range pairs {
+		if CanonicalCode(pr[0]) == CanonicalCode(pr[1]) {
+			t.Fatalf("pair %d: non-isomorphic graphs share canonical code", i)
+		}
+	}
+}
+
+func TestEmbeddingCountsTriangleInK4(t *testing.T) {
+	// K4 contains 4 distinct triangles.
+	k4 := graph.FromEdges([]graph.Label{0, 0, 0, 0},
+		[]graph.Edge{{U: 0, W: 1}, {U: 0, W: 2}, {U: 0, W: 3}, {U: 1, W: 2}, {U: 1, W: 3}, {U: 2, W: 3}})
+	tri := graph.FromEdges([]graph.Label{0, 0, 0},
+		[]graph.Edge{{U: 0, W: 1}, {U: 1, W: 2}, {U: 0, W: 2}})
+	if got := CountEmbeddings(tri, k4, 0); got != 4 {
+		t.Fatalf("triangles in K4: got %d, want 4", got)
+	}
+}
+
+func TestEmbeddingCountsEdgeInPath(t *testing.T) {
+	p := path(0, 0, 0, 0)
+	edge := path(0, 0)
+	if got := CountEmbeddings(edge, p, 0); got != 3 {
+		t.Fatalf("edges in P4: got %d, want 3", got)
+	}
+}
+
+func TestEmbeddingRespectsLabels(t *testing.T) {
+	host := path(1, 2, 1, 2)
+	pat := path(1, 2)
+	if got := CountEmbeddings(pat, host, 0); got != 3 {
+		t.Fatalf("1-2 edges: got %d, want 3", got)
+	}
+	pat2 := path(2, 2)
+	if got := CountEmbeddings(pat2, host, 0); got != 0 {
+		t.Fatalf("2-2 edges: got %d, want 0", got)
+	}
+}
+
+func TestEmbeddingNonInduced(t *testing.T) {
+	// P3 pattern must embed into a triangle (extra host edge allowed).
+	tri := graph.FromEdges([]graph.Label{0, 0, 0},
+		[]graph.Edge{{U: 0, W: 1}, {U: 1, W: 2}, {U: 0, W: 2}})
+	p3 := path(0, 0, 0)
+	if got := CountEmbeddings(p3, tri, 0); got != 3 {
+		t.Fatalf("P3 in triangle: got %d, want 3 (one per omitted edge)", got)
+	}
+}
+
+func TestEnumerateEmbeddingsAnchor(t *testing.T) {
+	host := path(1, 2, 1)
+	pat := path(1, 2) // pattern vertex 0 has label 1
+	n := EnumerateEmbeddings(pat, host, MatchOptions{Anchor: 2, DistinctImages: true},
+		func(m Mapping) bool {
+			if m[0] != 2 {
+				t.Fatalf("anchor violated: %v", m)
+			}
+			return true
+		})
+	if n != 1 {
+		t.Fatalf("anchored embeddings: got %d, want 1", n)
+	}
+}
+
+func TestEnumerateEmbeddingsLimit(t *testing.T) {
+	host := path(0, 0, 0, 0, 0, 0)
+	pat := path(0, 0)
+	n := EnumerateEmbeddings(pat, host, MatchOptions{Limit: 2, Anchor: -1, DistinctImages: true},
+		func(Mapping) bool { return true })
+	if n != 2 {
+		t.Fatalf("limit ignored: got %d", n)
+	}
+}
+
+func TestEnumerateEmbeddingsEarlyStop(t *testing.T) {
+	host := path(0, 0, 0, 0, 0)
+	pat := path(0, 0)
+	calls := 0
+	EnumerateEmbeddings(pat, host, MatchOptions{Anchor: -1, DistinctImages: true},
+		func(Mapping) bool {
+			calls++
+			return false // stop immediately
+		})
+	if calls != 1 {
+		t.Fatalf("early stop ignored: %d calls", calls)
+	}
+}
+
+func TestDisconnectedPatternRejected(t *testing.T) {
+	disc := graph.FromEdges([]graph.Label{0, 0, 0, 0},
+		[]graph.Edge{{U: 0, W: 1}, {U: 2, W: 3}})
+	if got := CountEmbeddings(disc, path(0, 0, 0, 0), 0); got != 0 {
+		t.Fatalf("disconnected pattern matched: %d", got)
+	}
+}
+
+func TestImageKeyAutomorphismInvariant(t *testing.T) {
+	// pattern 0-0 edge in host 0-0: mappings (0,1) and (1,0) are the same
+	// subgraph.
+	pat := path(0, 0)
+	k1 := ImageKey(pat, Mapping{0, 1})
+	k2 := ImageKey(pat, Mapping{1, 0})
+	if k1 != k2 {
+		t.Fatal("image keys differ for the same subgraph")
+	}
+}
+
+// Property: Invariant is permutation-invariant; Isomorphic agrees with the
+// construction.
+func TestQuickIsoInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(2+rng.Intn(10), 2+rng.Intn(14), 1+rng.Intn(3), rng)
+		h := permute(g, rng)
+		return Invariant(g) == Invariant(h) && Isomorphic(g, h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding one edge to a graph breaks isomorphism with the
+// original (edge counts differ).
+func TestQuickEdgeAddedNotIso(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)
+		g := randomGraph(n, n, 2, rng)
+		// find a non-edge
+		for try := 0; try < 50; try++ {
+			u := graph.V(rng.Intn(n))
+			w := graph.V(rng.Intn(n))
+			if u != w && !g.HasEdge(u, w) {
+				b := graph.NewBuilder(n, g.M()+1)
+				for v := 0; v < n; v++ {
+					b.AddVertex(g.Label(graph.V(v)))
+				}
+				for _, e := range g.Edges() {
+					b.AddEdge(e.U, e.W)
+				}
+				b.AddEdge(u, w)
+				h := b.Build()
+				return !Isomorphic(g, h)
+			}
+		}
+		return true // dense graph, skip
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+// Package canon provides labeled-graph canonicalization and isomorphism
+// machinery: a Weisfeiler–Leman style isomorphism-invariant hash, exact
+// labeled graph isomorphism, VF2-style subgraph isomorphism with embedding
+// enumeration, and a canonical code for small graphs.
+//
+// Pattern identity in the miners is decided in three tiers:
+//  1. Invariant hash (cheap, collision-prone only across genuinely
+//     WL-equivalent graphs),
+//  2. spider-set signature (see internal/pattern),
+//  3. exact Isomorphic check.
+package canon
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// fnv64 constants for inline hashing without allocation.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvMix(h uint64, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime
+		x >>= 8
+	}
+	return h
+}
+
+// Invariant returns an isomorphism-invariant 64-bit hash of the labeled
+// graph, computed by iterated neighborhood color refinement
+// (1-dimensional Weisfeiler–Leman). Isomorphic graphs always get equal
+// hashes; non-isomorphic graphs may collide (rarely in practice).
+func Invariant(g *graph.Graph) uint64 {
+	n := g.N()
+	if n == 0 {
+		return fnvOffset
+	}
+	colors := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		colors[v] = fnvMix(fnvOffset, uint64(g.Label(graph.V(v))))
+	}
+	next := make([]uint64, n)
+	rounds := refinementRounds(n)
+	buf := make([]uint64, 0, 16)
+	for r := 0; r < rounds; r++ {
+		for v := 0; v < n; v++ {
+			buf = buf[:0]
+			for _, w := range g.Neighbors(graph.V(v)) {
+				buf = append(buf, colors[w])
+			}
+			sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+			h := fnvMix(fnvOffset, colors[v])
+			for _, c := range buf {
+				h = fnvMix(h, c)
+			}
+			next[v] = h
+		}
+		colors, next = next, colors
+	}
+	// Combine per-vertex colors into an order-independent graph hash.
+	final := append([]uint64(nil), colors...)
+	sort.Slice(final, func(i, j int) bool { return final[i] < final[j] })
+	h := fnvMix(fnvOffset, uint64(n))
+	h = fnvMix(h, uint64(g.M()))
+	for _, c := range final {
+		h = fnvMix(h, c)
+	}
+	return h
+}
+
+// refinementRounds picks enough WL rounds to stabilize small patterns:
+// diameter-many rounds suffice; log2(n)+2 is a safe, cheap bound for the
+// pattern sizes the miners handle.
+func refinementRounds(n int) int {
+	r := 2
+	for m := n; m > 1; m >>= 1 {
+		r++
+	}
+	if r > 16 {
+		r = 16
+	}
+	return r
+}
+
+// VertexColors runs the same refinement as Invariant and returns the final
+// per-vertex colors. Used by the canonical-code search to seed its initial
+// partition and by spider-set signatures.
+func VertexColors(g *graph.Graph) []uint64 {
+	n := g.N()
+	colors := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		colors[v] = fnvMix(fnvOffset, uint64(g.Label(graph.V(v))))
+	}
+	next := make([]uint64, n)
+	buf := make([]uint64, 0, 16)
+	for r := 0; r < refinementRounds(n); r++ {
+		for v := 0; v < n; v++ {
+			buf = buf[:0]
+			for _, w := range g.Neighbors(graph.V(v)) {
+				buf = append(buf, colors[w])
+			}
+			sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+			h := fnvMix(fnvOffset, colors[v])
+			for _, c := range buf {
+				h = fnvMix(h, c)
+			}
+			next[v] = h
+		}
+		colors, next = next, colors
+	}
+	return colors
+}

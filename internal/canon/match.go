@@ -1,0 +1,223 @@
+package canon
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Mapping assigns each pattern vertex (index) a host vertex.
+type Mapping []graph.V
+
+// Clone returns a copy of the mapping.
+func (m Mapping) Clone() Mapping { return append(Mapping(nil), m...) }
+
+// ImageKey returns a canonical string key for the subgraph image of the
+// mapping: the sorted list of host edges that pattern edges map to. Two
+// mappings with equal ImageKey denote the same embedding (same subgraph of
+// the host), e.g. mappings differing only by a pattern automorphism.
+func ImageKey(p *graph.Graph, m Mapping) string {
+	edges := make([]graph.Edge, 0, p.M())
+	for _, e := range p.Edges() {
+		edges = append(edges, graph.NormEdge(m[e.U], m[e.W]))
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].W < edges[j].W
+	})
+	buf := make([]byte, 0, len(edges)*8)
+	for _, e := range edges {
+		buf = appendVarint(buf, uint64(e.U))
+		buf = appendVarint(buf, uint64(e.W))
+	}
+	return string(buf)
+}
+
+func appendVarint(b []byte, x uint64) []byte {
+	for x >= 0x80 {
+		b = append(b, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(b, byte(x))
+}
+
+// MatchOptions controls embedding enumeration.
+type MatchOptions struct {
+	// Limit stops enumeration after this many results (0 = unlimited).
+	Limit int
+	// Anchor, if >= 0, forces pattern vertex 0 to map to this host vertex.
+	Anchor graph.V
+	// DistinctImages dedupes mappings that cover the same host subgraph
+	// (automorphic re-mappings), which matches the paper's definition of an
+	// embedding as a subgraph of G.
+	DistinctImages bool
+}
+
+// EnumerateEmbeddings finds mappings of the connected pattern p into host g
+// (non-induced subgraph isomorphism: every pattern edge must map to a host
+// edge; extra host edges between mapped vertices are allowed, as befits
+// "subgraph of G" embeddings). fn is called per result; returning false
+// stops the search. Returns the number of results produced.
+//
+// Disconnected patterns are rejected with a zero count: the miners only
+// ever produce connected patterns, and anchored search requires
+// connectivity.
+func EnumerateEmbeddings(p, g *graph.Graph, opt MatchOptions, fn func(Mapping) bool) int {
+	np := p.N()
+	if np == 0 {
+		return 0
+	}
+	if !p.IsConnected() {
+		return 0
+	}
+	order, parents := matchOrder(p)
+	mapping := make(Mapping, np)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	usedHost := make(map[graph.V]bool, np)
+	count := 0
+	var seen map[string]struct{}
+	if opt.DistinctImages {
+		seen = make(map[string]struct{})
+	}
+
+	var try func(depth int) bool // returns false to abort entirely
+	emit := func() bool {
+		if opt.DistinctImages {
+			k := ImageKey(p, mapping)
+			if _, dup := seen[k]; dup {
+				return true
+			}
+			seen[k] = struct{}{}
+		}
+		count++
+		if !fn(mapping.Clone()) {
+			return false
+		}
+		return opt.Limit == 0 || count < opt.Limit
+	}
+
+	try = func(depth int) bool {
+		if depth == np {
+			return emit()
+		}
+		pv := order[depth]
+		var candidates []graph.V
+		if parent := parents[depth]; parent >= 0 {
+			// Candidates are host neighbors of the parent's image.
+			candidates = g.Neighbors(mapping[order[parent]])
+		} else if opt.Anchor >= 0 && pv == 0 {
+			candidates = []graph.V{opt.Anchor}
+		} else if opt.Anchor >= 0 {
+			// Anchored search with a root other than 0: remap order so 0 is
+			// first (handled by matchOrder); reaching here means pattern
+			// vertex 0 was not the root, fall back to scanning.
+			candidates = allHosts(g)
+		} else {
+			candidates = allHosts(g)
+		}
+		for _, hv := range candidates {
+			if usedHost[hv] {
+				continue
+			}
+			if g.Label(hv) != p.Label(pv) {
+				continue
+			}
+			if g.Degree(hv) < p.Degree(pv) {
+				continue
+			}
+			ok := true
+			for _, pw := range p.Neighbors(pv) {
+				if hw := mapping[pw]; hw >= 0 && !g.HasEdge(hv, hw) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			mapping[pv] = hv
+			usedHost[hv] = true
+			cont := try(depth + 1)
+			mapping[pv] = -1
+			delete(usedHost, hv)
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+	try(0)
+	return count
+}
+
+func allHosts(g *graph.Graph) []graph.V {
+	hs := make([]graph.V, g.N())
+	for i := range hs {
+		hs[i] = graph.V(i)
+	}
+	return hs
+}
+
+// matchOrder returns a connected search order over p's vertices and, for
+// each position, the index of an earlier-ordered neighbor (-1 for the
+// root). The root is vertex 0 so that MatchOptions.Anchor can pin it.
+func matchOrder(p *graph.Graph) (order []graph.V, parents []int) {
+	np := p.N()
+	order = make([]graph.V, 0, np)
+	parents = make([]int, 0, np)
+	visited := make([]bool, np)
+	pos := make([]int, np) // vertex -> position in order
+
+	root := graph.V(0)
+	order = append(order, root)
+	parents = append(parents, -1)
+	visited[root] = true
+	pos[root] = 0
+	for i := 0; i < len(order); i++ {
+		v := order[i]
+		// Expand neighbors sorted by descending pattern degree so highly
+		// constrained vertices are matched early.
+		nbrs := append([]graph.V(nil), p.Neighbors(v)...)
+		sort.Slice(nbrs, func(a, b int) bool { return p.Degree(nbrs[a]) > p.Degree(nbrs[b]) })
+		for _, w := range nbrs {
+			if !visited[w] {
+				visited[w] = true
+				pos[w] = len(order)
+				order = append(order, w)
+				parents = append(parents, i)
+			}
+		}
+	}
+	return order, parents
+}
+
+// CountEmbeddings returns the number of distinct embeddings (subgraph
+// images) of p in g, stopping at limit if limit > 0.
+func CountEmbeddings(p, g *graph.Graph, limit int) int {
+	return EnumerateEmbeddings(p, g, MatchOptions{Limit: limit, Anchor: -1, DistinctImages: true},
+		func(Mapping) bool { return true })
+}
+
+// HasEmbedding reports whether p occurs in g at all.
+func HasEmbedding(p, g *graph.Graph) bool {
+	return CountEmbeddings(p, g, 1) > 0
+}
+
+// FindEmbeddings returns up to limit distinct embeddings of p in g
+// (limit <= 0 means all).
+func FindEmbeddings(p, g *graph.Graph, limit int) []Mapping {
+	if limit < 0 {
+		limit = 0
+	}
+	var out []Mapping
+	EnumerateEmbeddings(p, g, MatchOptions{Limit: limit, Anchor: -1, DistinctImages: true},
+		func(m Mapping) bool {
+			out = append(out, m)
+			return true
+		})
+	return out
+}

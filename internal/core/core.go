@@ -1,0 +1,39 @@
+// Package core is the stable entry point to the paper's primary
+// contribution: the SpiderMine top-K large-pattern miner. It re-exports
+// the types of internal/spidermine so that callers depend on one import
+// path while the implementation remains free to evolve package-internally.
+//
+// For the substrates (graphs, isomorphism, support measures, spiders,
+// baselines, generators), import their packages directly; see README.md
+// for the map.
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/spidermine"
+	"repro/internal/txdb"
+)
+
+// Config parameterizes a mining run. See spidermine.Config for field
+// documentation.
+type Config = spidermine.Config
+
+// Result is the outcome of a mining run: up to K structurally distinct
+// patterns, size-descending, plus run statistics.
+type Result = spidermine.Result
+
+// Stats carries per-run counters (spiders mined, M, merges, isomorphism
+// tests skipped by spider-set pruning, per-stage wall time).
+type Stats = spidermine.Stats
+
+// Mine runs SpiderMine on a single graph: with probability >= 1−ε the
+// result contains the top-K largest frequent patterns of g with
+// diam <= Dmax and support >= σ.
+func Mine(g *graph.Graph, cfg Config) *Result { return spidermine.Mine(g, cfg) }
+
+// MineTransactions runs SpiderMine in the graph-transaction setting,
+// counting support as the number of database graphs containing the
+// pattern.
+func MineTransactions(db *txdb.DB, cfg Config) *Result {
+	return spidermine.MineTransactions(db, cfg)
+}

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/txdb"
+)
+
+func TestMineFacade(t *testing.T) {
+	g, _ := gen.Synthetic(gen.GIDConfig(1, 42))
+	res := Mine(g, Config{MinSupport: 2, K: 5, Dmax: 4, Seed: 7})
+	if len(res.Patterns) == 0 {
+		t.Fatal("facade returned nothing")
+	}
+	if res.Stats.NumSpiders == 0 {
+		t.Fatal("stats not threaded through")
+	}
+}
+
+func TestMineTransactionsFacade(t *testing.T) {
+	db, _ := txdb.SyntheticTx(txdb.SyntheticTxConfig{
+		NumGraphs: 5, N: 100, AvgDeg: 4, NumLabels: 40,
+		Large: gen.InjectSpec{NV: 10, Count: 1, Support: 1},
+		Seed:  3,
+	})
+	res := MineTransactions(db, Config{MinSupport: 4, K: 3, Dmax: 6, Seed: 3})
+	if res == nil {
+		t.Fatal("nil result")
+	}
+}

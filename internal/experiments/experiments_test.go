@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReportRender(t *testing.T) {
+	r := &Report{
+		ID:     "demo",
+		Title:  "demo title",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"a note"},
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo title", "333", "a note", "--"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every experiment in DESIGN.md's index must be registered.
+	want := []string{
+		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+		"fig19", "fig20", "fig21", "appC3", "appC4", "lemma2", "ablations",
+	}
+	for _, id := range want {
+		if _, ok := Registry[id]; !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nope", Params{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestLemma2Report(t *testing.T) {
+	rep := Lemma2Table()
+	if len(rep.Rows) < 5 {
+		t.Fatal("too few rows")
+	}
+	// The paper's example row must show M near 85.
+	if rep.Rows[0][4] != "86" && rep.Rows[0][4] != "85" {
+		t.Fatalf("paper example M = %s", rep.Rows[0][4])
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	rep := Fig4to8(1, 42)
+	if len(rep.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// SpiderMine column (index 1) must have mass at size >= 20;
+	// SEuS column (index 3) must not.
+	smLarge, seusLarge := false, false
+	for _, row := range rep.Rows {
+		size := atoiOr(row[0])
+		if size >= 20 {
+			if row[1] != "0" {
+				smLarge = true
+			}
+			if row[3] != "0" {
+				seusLarge = true
+			}
+		}
+	}
+	if !smLarge {
+		t.Fatal("SpiderMine found no large patterns on GID 1")
+	}
+	if seusLarge {
+		t.Fatal("SEuS should not find large patterns")
+	}
+}
+
+func TestFig9QuickShape(t *testing.T) {
+	rep := Fig9([]int{100, 200}, 1, 2*time.Second)
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows %d", len(rep.Rows))
+	}
+}
+
+func TestAppC3Growth(t *testing.T) {
+	rep := AppC3([]int{1, 2}, 1, 0.4)
+	if len(rep.Rows) != 2 {
+		t.Fatal("rows")
+	}
+	// spider count must grow with r
+	if atoiOr(rep.Rows[1][1]) <= atoiOr(rep.Rows[0][1]) {
+		t.Fatalf("r=2 should mine more spiders: %s vs %s", rep.Rows[1][1], rep.Rows[0][1])
+	}
+}
+
+func TestAblationsReport(t *testing.T) {
+	rep := Ablations(42)
+	if len(rep.Rows) != 4 {
+		t.Fatalf("ablation variants %d, want 4", len(rep.Rows))
+	}
+	// baseline must skip at least as many iso tests as the no-pruning run
+	// (which skips none).
+	if rep.Rows[1][4] != "0" {
+		t.Fatalf("no-pruning variant skipped %s tests", rep.Rows[1][4])
+	}
+}
+
+func TestFig19SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep := Fig19([]int{1, 2}, 1, 0.05)
+	if len(rep.Rows) != 2 {
+		t.Fatal("rows")
+	}
+	// d=1 means Dmax=2: top patterns must respect it (column 1 is |V|).
+	if rep.Rows[0][1] == "" {
+		t.Fatal("empty cell")
+	}
+}
+
+func atoiOr(s string) int {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return -1
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}

@@ -1,0 +1,172 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/canon"
+	"repro/internal/graph"
+)
+
+func TestErdosRenyiBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := ErdosRenyi(500, 4, 20, rng)
+	if g.N() != 500 {
+		t.Fatalf("n=%d", g.N())
+	}
+	wantM := 1000
+	if g.M() != wantM {
+		t.Fatalf("m=%d, want %d", g.M(), wantM)
+	}
+	if g.NumLabels() > 20 {
+		t.Fatalf("labels %d > 20", g.NumLabels())
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a := ErdosRenyi(100, 3, 10, rand.New(rand.NewSource(7)))
+	b := ErdosRenyi(100, 3, 10, rand.New(rand.NewSource(7)))
+	if a.M() != b.M() {
+		t.Fatal("same seed, different graphs")
+	}
+	for v := 0; v < a.N(); v++ {
+		if a.Label(graph.V(v)) != b.Label(graph.V(v)) {
+			t.Fatal("labels differ")
+		}
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := BarabasiAlbert(1000, 2, 50, rng)
+	if g.N() != 1000 {
+		t.Fatalf("n=%d", g.N())
+	}
+	if !g.IsConnected() {
+		t.Fatal("BA graph must be connected")
+	}
+	// Scale-free: max degree far above average.
+	if float64(g.MaxDegree()) < 4*g.AvgDegree() {
+		t.Fatalf("no hub: max %d avg %.1f", g.MaxDegree(), g.AvgDegree())
+	}
+}
+
+func TestRandomConnectedPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		nv := 5 + rng.Intn(25)
+		p := RandomConnectedPattern(nv, nv/5, 10, 4, rng)
+		if p.N() != nv {
+			t.Fatalf("nv=%d, want %d", p.N(), nv)
+		}
+		if !p.IsConnected() {
+			t.Fatal("pattern not connected")
+		}
+		if p.M() < nv-1 {
+			t.Fatal("fewer edges than a spanning tree")
+		}
+	}
+}
+
+func TestSyntheticInjection(t *testing.T) {
+	cfg := GIDConfig(1, 99)
+	g, larges := Synthetic(cfg)
+	if g.N() != 400 {
+		t.Fatalf("n=%d", g.N())
+	}
+	if len(larges) != 5 {
+		t.Fatalf("injected %d large patterns, want 5", len(larges))
+	}
+	// Every injected large pattern must actually occur at least Lsup=2
+	// times in the generated graph.
+	for i, p := range larges {
+		if got := canon.CountEmbeddings(p, g, 2); got < 2 {
+			t.Errorf("pattern %d: %d embeddings found, want >= 2", i, got)
+		}
+	}
+}
+
+func TestSyntheticSupportRange(t *testing.T) {
+	cfg := SyntheticConfig{
+		N: 2000, AvgDeg: 2, NumLabels: 100, Seed: 5,
+		Large: InjectSpec{NV: 10, Count: 2, Support: 3, SupportMax: 5},
+	}
+	g, larges := Synthetic(cfg)
+	for i, p := range larges {
+		if got := canon.CountEmbeddings(p, g, 3); got < 3 {
+			t.Errorf("pattern %d: %d embeddings, want >= 3", i, got)
+		}
+	}
+}
+
+func TestGIDConfigsTable1(t *testing.T) {
+	wantN := map[int]int{1: 400, 2: 400, 3: 1000, 4: 1000, 5: 600}
+	wantF := map[int]int{1: 70, 2: 70, 3: 250, 4: 250, 5: 130}
+	for gid := 1; gid <= 5; gid++ {
+		c := GIDConfig(gid, 1)
+		if c.N != wantN[gid] || c.NumLabels != wantF[gid] {
+			t.Errorf("GID %d: N=%d f=%d", gid, c.N, c.NumLabels)
+		}
+		if c.Large.NV != 30 || c.Large.Count != 5 {
+			t.Errorf("GID %d large spec wrong", gid)
+		}
+	}
+}
+
+func TestGIDConfigPanicsOnBadID(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GIDConfig(6, 1)
+}
+
+func TestGIDConfigLargeTable3(t *testing.T) {
+	wantN := map[int]int{6: 20490, 7: 31110, 8: 37595, 9: 47410, 10: 56740}
+	for gid := 6; gid <= 10; gid++ {
+		c := GIDConfigLarge(gid, 1)
+		if c.N != wantN[gid] {
+			t.Errorf("GID %d: N=%d, want %d", gid, c.N, wantN[gid])
+		}
+		if c.Large.NV != 50 || c.Large.Count != 5 || c.Small.Count != 50 {
+			t.Errorf("GID %d inject specs wrong", gid)
+		}
+	}
+}
+
+func TestDBLPLike(t *testing.T) {
+	g, pats := DBLPLike(DBLPConfig{Authors: 1500, Seed: 4})
+	if g.N() != 1500 {
+		t.Fatalf("n=%d", g.N())
+	}
+	if g.NumLabels() != 4 {
+		t.Fatalf("labels=%d, want 4 seniority classes", g.NumLabels())
+	}
+	if len(pats) == 0 {
+		t.Fatal("no collaborative patterns")
+	}
+	// Average degree should be in a plausible co-authorship range.
+	if g.AvgDegree() < 2 || g.AvgDegree() > 12 {
+		t.Fatalf("avg degree %.1f implausible", g.AvgDegree())
+	}
+}
+
+func TestCallGraphLike(t *testing.T) {
+	g, motifs := CallGraphLike(CallGraphConfig{Seed: 4})
+	if g.N() != 835 {
+		t.Fatalf("n=%d, want 835 (Jeti)", g.N())
+	}
+	if len(motifs) == 0 {
+		t.Fatal("no motifs")
+	}
+	if g.MaxDegree() < 20 {
+		t.Fatalf("no API hub: max degree %d", g.MaxDegree())
+	}
+	// every motif must occur at least 10 times (σ=10 in Fig. 21)
+	for i, m := range motifs {
+		if got := canon.CountEmbeddings(m, g, 10); got < 10 {
+			t.Errorf("motif %d: %d occurrences, want >= 10", i, got)
+		}
+	}
+}

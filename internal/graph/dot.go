@@ -1,0 +1,32 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT writes the graph in Graphviz DOT format, one node per vertex
+// labeled "v<id>:<label>". Handy for eyeballing mined patterns:
+//
+//	spidermine -in g.lg -dot | dot -Tsvg > patterns.svg
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "graph %q {\n", name); err != nil {
+		return err
+	}
+	for v := 0; v < g.N(); v++ {
+		if _, err := fmt.Fprintf(bw, "  n%d [label=\"%d:%d\"];\n", v, v, g.Label(V(v))); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "  n%d -- n%d;\n", e.U, e.W); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(bw, "}"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,21 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := FromEdges([]Label{1, 2}, []Edge{{U: 0, W: 1}})
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, "p"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`graph "p" {`, `n0 [label="0:1"]`, "n0 -- n1;", "}"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package graph_test
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/graph"
+)
+
+// Example builds a small labeled graph and inspects it.
+func Example() {
+	b := graph.NewBuilder(3, 2)
+	a := b.AddVertex(10)
+	c := b.AddVertex(20)
+	d := b.AddVertex(10)
+	b.AddEdge(a, c)
+	b.AddEdge(c, d)
+	g := b.Build()
+
+	fmt.Println(g.N(), "vertices,", g.M(), "edges")
+	fmt.Println("degree of middle vertex:", g.Degree(c))
+	fmt.Println("diameter:", g.Diameter())
+	// Output:
+	// 3 vertices, 2 edges
+	// degree of middle vertex: 2
+	// diameter: 2
+}
+
+// ExampleGraph_WriteLG shows the LG text serialization consumed by
+// cmd/spidermine.
+func ExampleGraph_WriteLG() {
+	g := graph.FromEdges([]graph.Label{7, 8}, []graph.Edge{{U: 0, W: 1}})
+	g.WriteLG(os.Stdout, "demo")
+	// Output:
+	// t # demo
+	// v 0 7
+	// v 1 8
+	// e 0 1
+}

@@ -1,0 +1,266 @@
+// Package graph provides the labeled undirected graph substrate used by
+// SpiderMine and all baseline miners. Graphs are immutable once built;
+// construct them with a Builder. Vertices are dense int32 identifiers and
+// carry an integer Label. Adjacency lists are kept sorted so that edge
+// membership tests are O(log d).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// V is a vertex identifier. Vertices of a graph with n vertices are
+// numbered 0..n-1.
+type V = int32
+
+// Label is a vertex label. Labeled graph isomorphism (Definition 1 of the
+// paper) requires mapped vertices to share labels.
+type Label int32
+
+// Edge is an undirected edge between two vertices. The zero vertex is a
+// valid endpoint; callers should keep U <= W when using Edge as a map key
+// (see NormEdge).
+type Edge struct {
+	U, W V
+}
+
+// NormEdge returns the edge with endpoints ordered so that U <= W, making
+// it usable as a canonical map key for undirected edges.
+func NormEdge(u, w V) Edge {
+	if u > w {
+		u, w = w, u
+	}
+	return Edge{u, w}
+}
+
+// Graph is an immutable vertex-labeled undirected simple graph.
+//
+// The zero value is the empty graph. Use a Builder to construct non-empty
+// graphs.
+type Graph struct {
+	labels []Label
+	adj    [][]V
+	m      int
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.labels) }
+
+// M returns the number of (undirected) edges.
+func (g *Graph) M() int { return g.m }
+
+// Label returns the label of vertex v.
+func (g *Graph) Label(v V) Label { return g.labels[v] }
+
+// Labels returns the label slice indexed by vertex. The returned slice is
+// shared with the graph and must not be modified.
+func (g *Graph) Labels() []Label { return g.labels }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v V) int { return len(g.adj[v]) }
+
+// Neighbors returns the sorted neighbor list of v. The returned slice is
+// shared with the graph and must not be modified.
+func (g *Graph) Neighbors(v V) []V { return g.adj[v] }
+
+// HasEdge reports whether the undirected edge {u, w} exists.
+func (g *Graph) HasEdge(u, w V) bool {
+	if int(u) >= len(g.adj) || int(w) >= len(g.adj) || u < 0 || w < 0 {
+		return false
+	}
+	a := g.adj[u]
+	if len(g.adj[w]) < len(a) {
+		a = g.adj[w]
+		u, w = w, u
+	}
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= w })
+	return i < len(a) && a[i] == w
+}
+
+// Edges returns all edges with U < W, sorted lexicographically.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.m)
+	for u := range g.adj {
+		for _, w := range g.adj[u] {
+			if V(u) < w {
+				out = append(out, Edge{V(u), w})
+			}
+		}
+	}
+	return out
+}
+
+// MaxDegree returns the maximum vertex degree, or 0 for the empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := range g.adj {
+		if d := len(g.adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AvgDegree returns the average vertex degree (2M/N), or 0 for the empty
+// graph.
+func (g *Graph) AvgDegree() float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(g.N())
+}
+
+// NumLabels returns the number of distinct labels present in the graph.
+func (g *Graph) NumLabels() int {
+	seen := make(map[Label]struct{})
+	for _, l := range g.labels {
+		seen[l] = struct{}{}
+	}
+	return len(seen)
+}
+
+// String returns a short human-readable summary such as
+// "graph{n=400 m=1398 labels=70}".
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d labels=%d}", g.N(), g.M(), g.NumLabels())
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	labels := make([]Label, len(g.labels))
+	copy(labels, g.labels)
+	adj := make([][]V, len(g.adj))
+	for i, a := range g.adj {
+		adj[i] = append([]V(nil), a...)
+	}
+	return &Graph{labels: labels, adj: adj, m: g.m}
+}
+
+// Builder constructs graphs incrementally. It tolerates duplicate and
+// self-loop edge insertions (both are dropped at Build time), which keeps
+// random generators simple.
+type Builder struct {
+	labels []Label
+	edges  []Edge
+}
+
+// NewBuilder returns a Builder with capacity hints for n vertices and m
+// edges.
+func NewBuilder(n, m int) *Builder {
+	return &Builder{
+		labels: make([]Label, 0, n),
+		edges:  make([]Edge, 0, m),
+	}
+}
+
+// AddVertex appends a vertex with the given label and returns its id.
+func (b *Builder) AddVertex(l Label) V {
+	b.labels = append(b.labels, l)
+	return V(len(b.labels) - 1)
+}
+
+// AddVertices appends k vertices all carrying label l and returns the id of
+// the first.
+func (b *Builder) AddVertices(k int, l Label) V {
+	first := V(len(b.labels))
+	for i := 0; i < k; i++ {
+		b.labels = append(b.labels, l)
+	}
+	return first
+}
+
+// N returns the number of vertices added so far.
+func (b *Builder) N() int { return len(b.labels) }
+
+// SetLabel overrides the label of an existing vertex.
+func (b *Builder) SetLabel(v V, l Label) { b.labels[v] = l }
+
+// AddEdge records the undirected edge {u, w}. Self-loops and duplicates are
+// silently dropped when Build runs. AddEdge panics if either endpoint has
+// not been added.
+func (b *Builder) AddEdge(u, w V) {
+	if int(u) >= len(b.labels) || int(w) >= len(b.labels) || u < 0 || w < 0 {
+		panic(fmt.Sprintf("graph: AddEdge(%d, %d) with only %d vertices", u, w, len(b.labels)))
+	}
+	b.edges = append(b.edges, NormEdge(u, w))
+}
+
+// HasEdge reports whether the edge has been recorded already. It is O(E)
+// and intended for tests and small builders; generators that need fast
+// duplicate checks should keep their own set.
+func (b *Builder) HasEdge(u, w V) bool {
+	e := NormEdge(u, w)
+	for _, f := range b.edges {
+		if f == e {
+			return true
+		}
+	}
+	return false
+}
+
+// Build finalizes the graph: adjacency is sorted, self-loops and duplicate
+// edges are removed.
+func (b *Builder) Build() *Graph {
+	n := len(b.labels)
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i].U != b.edges[j].U {
+			return b.edges[i].U < b.edges[j].U
+		}
+		return b.edges[i].W < b.edges[j].W
+	})
+	deg := make([]int, n)
+	m := 0
+	var prev Edge
+	first := true
+	for _, e := range b.edges {
+		if e.U == e.W {
+			continue
+		}
+		if !first && e == prev {
+			continue
+		}
+		first = false
+		prev = e
+		deg[e.U]++
+		deg[e.W]++
+		m++
+	}
+	adj := make([][]V, n)
+	for v := 0; v < n; v++ {
+		adj[v] = make([]V, 0, deg[v])
+	}
+	var last Edge
+	haveLast := false
+	for _, e := range b.edges {
+		if e.U == e.W {
+			continue
+		}
+		if haveLast && e == last {
+			continue
+		}
+		haveLast = true
+		last = e
+		adj[e.U] = append(adj[e.U], e.W)
+		adj[e.W] = append(adj[e.W], e.U)
+	}
+	for v := 0; v < n; v++ {
+		sort.Slice(adj[v], func(i, j int) bool { return adj[v][i] < adj[v][j] })
+	}
+	labels := make([]Label, n)
+	copy(labels, b.labels)
+	return &Graph{labels: labels, adj: adj, m: m}
+}
+
+// FromEdges builds a graph directly from a label slice and an edge list.
+// It is a convenience wrapper around Builder used heavily in tests.
+func FromEdges(labels []Label, edges []Edge) *Graph {
+	b := NewBuilder(len(labels), len(edges))
+	for _, l := range labels {
+		b.AddVertex(l)
+	}
+	for _, e := range edges {
+		b.AddEdge(e.U, e.W)
+	}
+	return b.Build()
+}

@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteLG writes the graph in the simple "LG" text format used by many
+// graph miners:
+//
+//	t # <name>
+//	v <id> <label>
+//	e <u> <w>
+//
+// Vertices are written in id order, edges with U < W in lexicographic
+// order.
+func (g *Graph) WriteLG(w io.Writer, name string) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "t # %s\n", name); err != nil {
+		return err
+	}
+	for v := 0; v < g.N(); v++ {
+		if _, err := fmt.Fprintf(bw, "v %d %d\n", v, g.Label(V(v))); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "e %d %d\n", e.U, e.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLG parses a single graph in LG format. Unknown directives and blank
+// lines are ignored; an optional trailing edge label field is accepted and
+// dropped (the library is vertex-labeled).
+func ReadLG(r io.Reader) (*Graph, string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	b := NewBuilder(0, 0)
+	name := ""
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "t":
+			// "t # name"
+			if len(fields) >= 3 {
+				name = strings.Join(fields[2:], " ")
+			}
+		case "v":
+			if len(fields) < 3 {
+				return nil, "", fmt.Errorf("graph: line %d: malformed vertex %q", lineNo, line)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, "", fmt.Errorf("graph: line %d: bad vertex id: %v", lineNo, err)
+			}
+			lab, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, "", fmt.Errorf("graph: line %d: bad vertex label: %v", lineNo, err)
+			}
+			if id != b.N() {
+				return nil, "", fmt.Errorf("graph: line %d: vertex ids must be dense and in order; got %d, want %d", lineNo, id, b.N())
+			}
+			b.AddVertex(Label(lab))
+		case "e":
+			if len(fields) < 3 {
+				return nil, "", fmt.Errorf("graph: line %d: malformed edge %q", lineNo, line)
+			}
+			u, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, "", fmt.Errorf("graph: line %d: bad edge endpoint: %v", lineNo, err)
+			}
+			w, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, "", fmt.Errorf("graph: line %d: bad edge endpoint: %v", lineNo, err)
+			}
+			if u < 0 || w < 0 || u >= b.N() || w >= b.N() {
+				return nil, "", fmt.Errorf("graph: line %d: edge (%d,%d) references unknown vertex", lineNo, u, w)
+			}
+			b.AddEdge(V(u), V(w))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, "", err
+	}
+	return b.Build(), name, nil
+}

@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLGRoundTrip(t *testing.T) {
+	g := FromEdges([]Label{3, 1, 4, 1}, []Edge{{0, 1}, {1, 2}, {2, 3}, {0, 3}})
+	var buf bytes.Buffer
+	if err := g.WriteLG(&buf, "roundtrip"); err != nil {
+		t.Fatal(err)
+	}
+	g2, name, err := ReadLG(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "roundtrip" {
+		t.Fatalf("name %q", name)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("roundtrip mismatch: %v vs %v", g2, g)
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Label(V(v)) != g2.Label(V(v)) {
+			t.Fatal("labels changed")
+		}
+	}
+	for _, e := range g.Edges() {
+		if !g2.HasEdge(e.U, e.W) {
+			t.Fatalf("edge %v lost", e)
+		}
+	}
+}
+
+func TestReadLGIgnoresCommentsAndBlanks(t *testing.T) {
+	in := "t # demo\n\n# a comment\nv 0 7\nv 1 8\ne 0 1\n"
+	g, name, err := ReadLG(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "demo" || g.N() != 2 || g.M() != 1 {
+		t.Fatalf("parse wrong: name=%q %v", name, g)
+	}
+}
+
+func TestReadLGErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"bad vertex id", "v x 0\n"},
+		{"bad vertex label", "v 0 y\n"},
+		{"non-dense ids", "v 5 0\n"},
+		{"short vertex line", "v 0\n"},
+		{"short edge line", "e 0\n"},
+		{"edge bad endpoint", "v 0 0\nv 1 0\ne 0 z\n"},
+		{"edge unknown vertex", "v 0 0\ne 0 9\n"},
+	}
+	for _, c := range cases {
+		if _, _, err := ReadLG(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestReadLGAcceptsEdgeLabels(t *testing.T) {
+	in := "v 0 1\nv 1 1\ne 0 1 42\n" // trailing edge label dropped
+	g, _, err := ReadLG(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 {
+		t.Fatal("edge with label not parsed")
+	}
+}
+
+// Property: ReadLG never panics on arbitrary input; it either parses or
+// returns an error.
+func TestQuickReadLGNoPanic(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ReadLG panicked on %q: %v", data, r)
+			}
+		}()
+		_, _, _ = ReadLG(bytes.NewReader(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: WriteLG/ReadLG round-trips arbitrary generated graphs.
+func TestQuickLGRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		b := NewBuilder(n, 2*n)
+		for i := 0; i < n; i++ {
+			b.AddVertex(Label(rng.Intn(5)))
+		}
+		for i := 0; i < 2*n; i++ {
+			b.AddEdge(V(rng.Intn(n)), V(rng.Intn(n)))
+		}
+		g := b.Build()
+		var buf bytes.Buffer
+		if err := g.WriteLG(&buf, "rt"); err != nil {
+			return false
+		}
+		g2, _, err := ReadLG(&buf)
+		if err != nil || g2.N() != g.N() || g2.M() != g.M() {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if !g2.HasEdge(e.U, e.W) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

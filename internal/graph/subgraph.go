@@ -1,0 +1,109 @@
+package graph
+
+import "sort"
+
+// Induced returns the subgraph of g induced by the given vertices, plus the
+// mapping from new vertex ids to original ids. Duplicate vertices in the
+// input are collapsed. New ids follow the sorted order of the originals so
+// the operation is deterministic.
+func (g *Graph) Induced(vertices []V) (*Graph, []V) {
+	uniq := append([]V(nil), vertices...)
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
+	out := uniq[:0]
+	var prev V = -1
+	for _, v := range uniq {
+		if v != prev {
+			out = append(out, v)
+			prev = v
+		}
+	}
+	uniq = out
+
+	index := make(map[V]V, len(uniq))
+	for i, v := range uniq {
+		index[v] = V(i)
+	}
+	b := NewBuilder(len(uniq), len(uniq)*2)
+	for _, v := range uniq {
+		b.AddVertex(g.Label(v))
+	}
+	for _, v := range uniq {
+		for _, w := range g.adj[v] {
+			if v < w {
+				if j, ok := index[w]; ok {
+					b.AddEdge(index[v], j)
+				}
+			}
+		}
+	}
+	return b.Build(), uniq
+}
+
+// SubgraphOfEdges builds the subgraph of g containing exactly the given
+// edges (in original vertex ids) and their endpoints. Returns the subgraph
+// and the new→original vertex mapping.
+func (g *Graph) SubgraphOfEdges(edges []Edge) (*Graph, []V) {
+	seen := make(map[V]struct{})
+	for _, e := range edges {
+		seen[e.U] = struct{}{}
+		seen[e.W] = struct{}{}
+	}
+	verts := make([]V, 0, len(seen))
+	for v := range seen {
+		verts = append(verts, v)
+	}
+	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+	index := make(map[V]V, len(verts))
+	for i, v := range verts {
+		index[v] = V(i)
+	}
+	b := NewBuilder(len(verts), len(edges))
+	for _, v := range verts {
+		b.AddVertex(g.Label(v))
+	}
+	for _, e := range edges {
+		b.AddEdge(index[e.U], index[e.W])
+	}
+	return b.Build(), verts
+}
+
+// Neighborhood returns the subgraph induced by all vertices within distance
+// r of v, plus the new→original mapping; the image of v is always new
+// vertex index findable via the mapping.
+func (g *Graph) Neighborhood(v V, r int) (*Graph, []V) {
+	dist := g.BFSWithin(v, r)
+	verts := make([]V, 0, len(dist))
+	for u := range dist {
+		verts = append(verts, u)
+	}
+	return g.Induced(verts)
+}
+
+// Union returns the union graph of two subgraph vertex/edge sets drawn from
+// the same host graph, expressed as host edges; endpoints are implied.
+// Used when merging overlapping pattern embeddings.
+func UnionEdges(a, b []Edge) []Edge {
+	seen := make(map[Edge]struct{}, len(a)+len(b))
+	out := make([]Edge, 0, len(a)+len(b))
+	for _, e := range a {
+		ne := NormEdge(e.U, e.W)
+		if _, ok := seen[ne]; !ok {
+			seen[ne] = struct{}{}
+			out = append(out, ne)
+		}
+	}
+	for _, e := range b {
+		ne := NormEdge(e.U, e.W)
+		if _, ok := seen[ne]; !ok {
+			seen[ne] = struct{}{}
+			out = append(out, ne)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].W < out[j].W
+	})
+	return out
+}

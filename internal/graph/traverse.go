@@ -1,0 +1,179 @@
+package graph
+
+// BFSFrom runs a breadth-first search from src and returns the distance of
+// every vertex from src; unreachable vertices get -1.
+func (g *Graph) BFSFrom(src V) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	if int(src) >= g.N() || src < 0 {
+		return dist
+	}
+	dist[src] = 0
+	queue := []V{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// BFSWithin returns the set of vertices within distance r of src
+// (including src itself) along with their distances. It stops expanding at
+// depth r, so cost is proportional to the r-neighborhood, not the graph.
+func (g *Graph) BFSWithin(src V, r int) map[V]int {
+	dist := map[V]int{src: 0}
+	frontier := []V{src}
+	for depth := 0; depth < r && len(frontier) > 0; depth++ {
+		var next []V
+		for _, v := range frontier {
+			for _, w := range g.adj[v] {
+				if _, ok := dist[w]; !ok {
+					dist[w] = depth + 1
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// Eccentricity returns the maximum shortest-path distance from v to any
+// vertex reachable from v. Returns 0 for isolated vertices.
+func (g *Graph) Eccentricity(v V) int {
+	dist := g.BFSFrom(v)
+	ecc := 0
+	for _, d := range dist {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the diameter of the graph: the maximum eccentricity over
+// all vertices. Disconnected graphs report the maximum diameter over
+// components (distances across components are ignored). O(N·(N+M)); meant
+// for patterns and test graphs, not massive inputs — use
+// EffectiveDiameter for those.
+func (g *Graph) Diameter() int {
+	diam := 0
+	for v := 0; v < g.N(); v++ {
+		if e := g.Eccentricity(V(v)); e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// RadiusFrom reports whether every vertex of the graph is within distance r
+// of v, i.e. whether the graph is "r-bounded from v" in the paper's sense.
+// Disconnected graphs are never r-bounded.
+func (g *Graph) RadiusFrom(v V, r int) bool {
+	dist := g.BFSFrom(v)
+	for _, d := range dist {
+		if d < 0 || d > r {
+			return false
+		}
+	}
+	return true
+}
+
+// EffectiveDiameter estimates the q-quantile (e.g. 0.9 for the "90th
+// percentile distance" the paper cites for DBLP) of pairwise distances by
+// sampling BFS from up to sample source vertices, visiting sources in a
+// fixed stride so the estimate is deterministic.
+func (g *Graph) EffectiveDiameter(q float64, sample int) int {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	if sample <= 0 || sample > n {
+		sample = n
+	}
+	stride := n / sample
+	if stride == 0 {
+		stride = 1
+	}
+	var dists []int
+	for v := 0; v < n; v += stride {
+		for _, d := range g.BFSFrom(V(v)) {
+			if d > 0 {
+				dists = append(dists, d)
+			}
+		}
+	}
+	if len(dists) == 0 {
+		return 0
+	}
+	// Counting sort: distances are small integers.
+	maxD := 0
+	for _, d := range dists {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	counts := make([]int, maxD+1)
+	for _, d := range dists {
+		counts[d]++
+	}
+	target := int(q * float64(len(dists)))
+	if target >= len(dists) {
+		target = len(dists) - 1
+	}
+	cum := 0
+	for d, c := range counts {
+		cum += c
+		if cum > target {
+			return d
+		}
+	}
+	return maxD
+}
+
+// ConnectedComponents returns a component id per vertex and the number of
+// components. Component ids are assigned in order of lowest contained
+// vertex.
+func (g *Graph) ConnectedComponents() (comp []int, count int) {
+	comp = make([]int, g.N())
+	for i := range comp {
+		comp[i] = -1
+	}
+	for v := 0; v < g.N(); v++ {
+		if comp[v] >= 0 {
+			continue
+		}
+		comp[v] = count
+		queue := []V{V(v)}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range g.adj[u] {
+				if comp[w] < 0 {
+					comp[w] = count
+					queue = append(queue, w)
+				}
+			}
+		}
+		count++
+	}
+	return comp, count
+}
+
+// IsConnected reports whether the graph has exactly one connected component
+// (the empty graph counts as connected).
+func (g *Graph) IsConnected() bool {
+	if g.N() == 0 {
+		return true
+	}
+	_, c := g.ConnectedComponents()
+	return c == 1
+}

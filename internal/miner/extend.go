@@ -1,0 +1,220 @@
+// Package miner hosts the shared edge-by-edge pattern-growth engine used
+// by the baseline miners (SUBDUE, SEuS verification, MoSS, ORIGAMI). It is
+// deliberately the *incremental* growth framework the paper contrasts
+// SpiderMine against: patterns extend one edge at a time.
+package miner
+
+import (
+	"sort"
+
+	"repro/internal/canon"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// Limits bounds the embedding bookkeeping of the incremental engine.
+type Limits struct {
+	// MaxEmbPerPattern caps stored embeddings per pattern (0 = unlimited).
+	// When the cap trims the list, counted support becomes a lower bound.
+	MaxEmbPerPattern int
+}
+
+// SingleEdgeSeeds returns one pattern per frequent labeled edge
+// (unordered label pair) of g, with all embeddings.
+func SingleEdgeSeeds(g *graph.Graph, minSup int, lim Limits, supFn func([]pattern.Embedding) int) []*pattern.Pattern {
+	type key struct{ a, b graph.Label }
+	byPair := make(map[key][]pattern.Embedding)
+	for _, e := range g.Edges() {
+		la, lb := g.Label(e.U), g.Label(e.W)
+		u, w := e.U, e.W
+		if la > lb {
+			la, lb = lb, la
+			u, w = w, u
+		}
+		byPair[key{la, lb}] = append(byPair[key{la, lb}], pattern.Embedding{u, w})
+	}
+	var out []*pattern.Pattern
+	var keys []key
+	for k := range byPair {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, k := range keys {
+		embs := byPair[k]
+		if supFn(embs) < minSup {
+			continue
+		}
+		if lim.MaxEmbPerPattern > 0 && len(embs) > lim.MaxEmbPerPattern {
+			embs = embs[:lim.MaxEmbPerPattern]
+		}
+		pg := graph.FromEdges([]graph.Label{k.a, k.b}, []graph.Edge{{U: 0, W: 1}})
+		out = append(out, pattern.New(pg, embs))
+	}
+	return out
+}
+
+// Extensions computes all frequent one-edge extensions of p in g:
+// forward extensions add a new vertex adjacent to an existing pattern
+// vertex; backward extensions close an edge between two existing pattern
+// vertices. Results are structurally deduplicated (iso classes merged,
+// embedding lists unioned) and support-filtered via supFn.
+func Extensions(g *graph.Graph, p *pattern.Pattern, minSup int, lim Limits, supFn func([]pattern.Embedding) int) []*pattern.Pattern {
+	type fwdKey struct {
+		pv graph.V
+		l  graph.Label
+	}
+	fwd := make(map[fwdKey][]pattern.Embedding)
+	type bwdKey struct{ pu, pv graph.V }
+	bwd := make(map[bwdKey][]pattern.Embedding)
+
+	np := p.NV()
+	for _, e := range p.Emb {
+		inImage := make(map[graph.V]graph.V, len(e)) // host -> pattern vertex
+		for pv, hv := range e {
+			inImage[hv] = graph.V(pv)
+		}
+		for pv := 0; pv < np; pv++ {
+			hv := e[pv]
+			for _, w := range g.Neighbors(hv) {
+				if pw, ok := inImage[w]; ok {
+					// backward: edge between pattern vertices pv and pw
+					pu, pv2 := graph.V(pv), pw
+					if pu > pv2 {
+						pu, pv2 = pv2, pu
+					}
+					if pu == pv2 || p.G.HasEdge(pu, pv2) {
+						continue
+					}
+					bwd[bwdKey{pu, pv2}] = append(bwd[bwdKey{pu, pv2}], e)
+				} else {
+					fwd[fwdKey{graph.V(pv), g.Label(w)}] = append(fwd[fwdKey{graph.V(pv), g.Label(w)}],
+						append(e.Clone(), w))
+				}
+			}
+		}
+	}
+
+	var candidates []*pattern.Pattern
+	// Forward candidates.
+	fwdKeys := make([]fwdKey, 0, len(fwd))
+	for k := range fwd {
+		fwdKeys = append(fwdKeys, k)
+	}
+	sort.Slice(fwdKeys, func(i, j int) bool {
+		if fwdKeys[i].pv != fwdKeys[j].pv {
+			return fwdKeys[i].pv < fwdKeys[j].pv
+		}
+		return fwdKeys[i].l < fwdKeys[j].l
+	})
+	for _, k := range fwdKeys {
+		nb := graph.NewBuilder(np+1, p.Size()+1)
+		for v := 0; v < np; v++ {
+			nb.AddVertex(p.G.Label(graph.V(v)))
+		}
+		for _, pe := range p.G.Edges() {
+			nb.AddEdge(pe.U, pe.W)
+		}
+		leaf := nb.AddVertex(k.l)
+		nb.AddEdge(k.pv, leaf)
+		ng := nb.Build()
+		cand := pattern.New(ng, dedupeEmbs(ng, fwd[k], lim))
+		if supFn(cand.Emb) >= minSup {
+			candidates = append(candidates, cand)
+		}
+	}
+	// Backward candidates.
+	bwdKeys := make([]bwdKey, 0, len(bwd))
+	for k := range bwd {
+		bwdKeys = append(bwdKeys, k)
+	}
+	sort.Slice(bwdKeys, func(i, j int) bool {
+		if bwdKeys[i].pu != bwdKeys[j].pu {
+			return bwdKeys[i].pu < bwdKeys[j].pu
+		}
+		return bwdKeys[i].pv < bwdKeys[j].pv
+	})
+	for _, k := range bwdKeys {
+		nb := graph.NewBuilder(np, p.Size()+1)
+		for v := 0; v < np; v++ {
+			nb.AddVertex(p.G.Label(graph.V(v)))
+		}
+		for _, pe := range p.G.Edges() {
+			nb.AddEdge(pe.U, pe.W)
+		}
+		nb.AddEdge(k.pu, k.pv)
+		ng := nb.Build()
+		cand := pattern.New(ng, dedupeEmbs(ng, bwd[k], lim))
+		if supFn(cand.Emb) >= minSup {
+			candidates = append(candidates, cand)
+		}
+	}
+	return DedupeStructures(candidates)
+}
+
+func dedupeEmbs(pg *graph.Graph, embs []pattern.Embedding, lim Limits) []pattern.Embedding {
+	seen := make(map[string]struct{}, len(embs))
+	var out []pattern.Embedding
+	for _, e := range embs {
+		k := e.ImageKey(pg)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, e)
+		if lim.MaxEmbPerPattern > 0 && len(out) >= lim.MaxEmbPerPattern {
+			break
+		}
+	}
+	return out
+}
+
+// DedupeStructures merges structurally isomorphic patterns, unioning their
+// embedding lists (deduped by image), and returns representatives in input
+// order.
+func DedupeStructures(ps []*pattern.Pattern) []*pattern.Pattern {
+	type entry struct{ p *pattern.Pattern }
+	byInv := make(map[uint64][]*entry)
+	var out []*pattern.Pattern
+	for _, p := range ps {
+		inv := p.Invariant()
+		merged := false
+		for _, ent := range byInv[inv] {
+			if ent.p.G.N() == p.G.N() && ent.p.G.M() == p.G.M() {
+				if mapping := canon.IsomorphismMapping(p.G, ent.p.G); mapping != nil {
+					// Re-express p's embeddings in ent's vertex order.
+					seen := make(map[string]struct{}, len(ent.p.Emb))
+					for _, e := range ent.p.Emb {
+						seen[e.ImageKey(ent.p.G)] = struct{}{}
+					}
+					for _, e := range p.Emb {
+						re := make(pattern.Embedding, len(e))
+						for pv, rv := range mapping {
+							re[rv] = e[pv]
+						}
+						k := re.ImageKey(ent.p.G)
+						if _, dup := seen[k]; !dup {
+							seen[k] = struct{}{}
+							ent.p.Emb = append(ent.p.Emb, re)
+						}
+					}
+					merged = true
+					break
+				}
+			}
+		}
+		if !merged {
+			byInv[inv] = append(byInv[inv], &entry{p})
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// RawSupport is the default single-graph support function: the number of
+// distinct embedding images.
+func RawSupport(embs []pattern.Embedding) int { return len(embs) }

@@ -1,0 +1,153 @@
+package miner
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// hostGraph: two triangles 1-2-3 and one extra 1-2 edge.
+func hostGraph() *graph.Graph {
+	b := graph.NewBuilder(8, 8)
+	mkTri := func() {
+		v1 := b.AddVertex(1)
+		v2 := b.AddVertex(2)
+		v3 := b.AddVertex(3)
+		b.AddEdge(v1, v2)
+		b.AddEdge(v2, v3)
+		b.AddEdge(v1, v3)
+	}
+	mkTri()
+	mkTri()
+	u := b.AddVertex(1)
+	w := b.AddVertex(2)
+	b.AddEdge(u, w)
+	return b.Build()
+}
+
+func TestSingleEdgeSeeds(t *testing.T) {
+	g := hostGraph()
+	seeds := SingleEdgeSeeds(g, 2, Limits{}, RawSupport)
+	bySizes := map[string]int{}
+	for _, p := range seeds {
+		if p.NV() != 2 || p.Size() != 1 {
+			t.Fatalf("seed not a single edge: %v", p)
+		}
+		key := ""
+		la, lb := p.G.Label(0), p.G.Label(1)
+		if la > lb {
+			la, lb = lb, la
+		}
+		key = string(rune('0'+la)) + "-" + string(rune('0'+lb))
+		bySizes[key] = len(p.Emb)
+	}
+	if bySizes["1-2"] != 3 {
+		t.Fatalf("1-2 edges: got %d, want 3", bySizes["1-2"])
+	}
+	if bySizes["2-3"] != 2 || bySizes["1-3"] != 2 {
+		t.Fatalf("triangle edges: %v", bySizes)
+	}
+}
+
+func TestSingleEdgeSeedsSupportFilter(t *testing.T) {
+	g := hostGraph()
+	seeds := SingleEdgeSeeds(g, 3, Limits{}, RawSupport)
+	if len(seeds) != 1 {
+		t.Fatalf("σ=3 should leave only the 1-2 edge, got %d seeds", len(seeds))
+	}
+}
+
+func TestExtensionsForward(t *testing.T) {
+	g := hostGraph()
+	seeds := SingleEdgeSeeds(g, 2, Limits{}, RawSupport)
+	var edge12 *pattern.Pattern
+	for _, p := range seeds {
+		if p.G.Label(0) == 1 && p.G.Label(1) == 2 {
+			edge12 = p
+		}
+	}
+	if edge12 == nil {
+		t.Fatal("1-2 seed missing")
+	}
+	exts := Extensions(g, edge12, 2, Limits{}, RawSupport)
+	// Expected frequent extensions include the path 1-2-3 (forward) and
+	// 2-1-3 (forward at the other end); each occurs twice (both
+	// triangles).
+	foundP3 := false
+	for _, q := range exts {
+		if q.NV() == 3 && q.Size() == 2 && len(q.Emb) >= 2 {
+			foundP3 = true
+		}
+	}
+	if !foundP3 {
+		t.Fatalf("no frequent P3 extension found among %d extensions", len(exts))
+	}
+}
+
+func TestExtensionsBackward(t *testing.T) {
+	g := hostGraph()
+	// Start from the path 1-2-3 with its two triangle embeddings; the
+	// backward extension closes the triangle.
+	pg := graph.FromEdges([]graph.Label{1, 2, 3}, []graph.Edge{{U: 0, W: 1}, {U: 1, W: 2}})
+	p := pattern.New(pg, []pattern.Embedding{{0, 1, 2}, {3, 4, 5}})
+	exts := Extensions(g, p, 2, Limits{}, RawSupport)
+	foundTri := false
+	for _, q := range exts {
+		if q.NV() == 3 && q.Size() == 3 {
+			foundTri = true
+			if len(q.Emb) != 2 {
+				t.Fatalf("triangle embeddings: %d, want 2", len(q.Emb))
+			}
+		}
+	}
+	if !foundTri {
+		t.Fatal("backward (cycle-closing) extension missing")
+	}
+}
+
+func TestExtensionsRespectSupport(t *testing.T) {
+	g := hostGraph()
+	pg := graph.FromEdges([]graph.Label{1, 2, 3}, []graph.Edge{{U: 0, W: 1}, {U: 1, W: 2}})
+	p := pattern.New(pg, []pattern.Embedding{{0, 1, 2}, {3, 4, 5}})
+	for _, q := range Extensions(g, p, 2, Limits{}, RawSupport) {
+		if len(q.Emb) < 2 {
+			t.Fatalf("infrequent extension returned: %v", q)
+		}
+	}
+}
+
+func TestDedupeStructures(t *testing.T) {
+	pg1 := graph.FromEdges([]graph.Label{1, 2}, []graph.Edge{{U: 0, W: 1}})
+	pg2 := graph.FromEdges([]graph.Label{2, 1}, []graph.Edge{{U: 0, W: 1}}) // isomorphic
+	a := pattern.New(pg1, []pattern.Embedding{{0, 1}})
+	b := pattern.New(pg2, []pattern.Embedding{{3, 2}}) // image {2,3}, re-expressed
+	out := DedupeStructures([]*pattern.Pattern{a, b})
+	if len(out) != 1 {
+		t.Fatalf("dedupe: %d patterns, want 1", len(out))
+	}
+	if len(out[0].Emb) != 2 {
+		t.Fatalf("merged embeddings: %d, want 2", len(out[0].Emb))
+	}
+}
+
+func TestDedupeStructuresKeepsDistinct(t *testing.T) {
+	pg1 := graph.FromEdges([]graph.Label{1, 2}, []graph.Edge{{U: 0, W: 1}})
+	pg2 := graph.FromEdges([]graph.Label{1, 1}, []graph.Edge{{U: 0, W: 1}})
+	out := DedupeStructures([]*pattern.Pattern{
+		pattern.New(pg1, nil), pattern.New(pg2, nil),
+	})
+	if len(out) != 2 {
+		t.Fatalf("distinct structures merged: %d", len(out))
+	}
+}
+
+func TestLimitsCapEmbeddings(t *testing.T) {
+	g := hostGraph()
+	seeds := SingleEdgeSeeds(g, 2, Limits{MaxEmbPerPattern: 1}, RawSupport)
+	for _, p := range seeds {
+		if len(p.Emb) > 1 {
+			t.Fatalf("embedding cap violated: %d", len(p.Emb))
+		}
+	}
+}

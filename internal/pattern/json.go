@@ -1,0 +1,70 @@
+package pattern
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// patternJSON is the wire form of a Pattern: explicit vertex labels, edge
+// list, and embeddings, so downstream tooling needs no Go types.
+type patternJSON struct {
+	Labels     []graph.Label `json:"labels"`
+	Edges      [][2]graph.V  `json:"edges"`
+	Embeddings [][]graph.V   `json:"embeddings,omitempty"`
+	Origin     graph.V       `json:"origin"`
+	Merged     bool          `json:"merged,omitempty"`
+	ID         int           `json:"id,omitempty"`
+}
+
+// MarshalJSON encodes the pattern graph, its embeddings, and growth
+// metadata.
+func (p *Pattern) MarshalJSON() ([]byte, error) {
+	pj := patternJSON{
+		Labels: append([]graph.Label(nil), p.G.Labels()...),
+		Origin: p.Origin,
+		Merged: p.Merged,
+		ID:     p.ID,
+	}
+	for _, e := range p.G.Edges() {
+		pj.Edges = append(pj.Edges, [2]graph.V{e.U, e.W})
+	}
+	for _, e := range p.Emb {
+		pj.Embeddings = append(pj.Embeddings, append([]graph.V(nil), e...))
+	}
+	return json.Marshal(pj)
+}
+
+// UnmarshalJSON decodes a pattern previously written by MarshalJSON,
+// validating edge endpoints and embedding lengths.
+func (p *Pattern) UnmarshalJSON(data []byte) error {
+	var pj patternJSON
+	if err := json.Unmarshal(data, &pj); err != nil {
+		return err
+	}
+	b := graph.NewBuilder(len(pj.Labels), len(pj.Edges))
+	for _, l := range pj.Labels {
+		b.AddVertex(l)
+	}
+	n := len(pj.Labels)
+	for _, e := range pj.Edges {
+		if int(e[0]) >= n || int(e[1]) >= n || e[0] < 0 || e[1] < 0 {
+			return fmt.Errorf("pattern: edge %v out of range (n=%d)", e, n)
+		}
+		b.AddEdge(e[0], e[1])
+	}
+	p.G = b.Build()
+	p.Emb = nil
+	for i, raw := range pj.Embeddings {
+		if len(raw) != n {
+			return fmt.Errorf("pattern: embedding %d has %d vertices, want %d", i, len(raw), n)
+		}
+		p.Emb = append(p.Emb, Embedding(raw))
+	}
+	p.Origin = pj.Origin
+	p.Merged = pj.Merged
+	p.ID = pj.ID
+	p.InvalidateCaches()
+	return nil
+}

@@ -1,0 +1,67 @@
+package pattern
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/canon"
+	"repro/internal/graph"
+)
+
+func TestPatternJSONRoundTrip(t *testing.T) {
+	pg := graph.FromEdges([]graph.Label{1, 2, 3},
+		[]graph.Edge{{U: 0, W: 1}, {U: 1, W: 2}})
+	orig := New(pg, []Embedding{{10, 11, 12}, {20, 21, 22}})
+	orig.ID = 7
+	orig.Origin = 1
+	orig.Merged = true
+
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Pattern
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != 7 || back.Origin != 1 || !back.Merged {
+		t.Fatalf("metadata lost: %+v", back)
+	}
+	if !canon.Isomorphic(orig.G, back.G) {
+		t.Fatal("graph changed through JSON")
+	}
+	if len(back.Emb) != 2 || back.Emb[0][0] != 10 || back.Emb[1][2] != 22 {
+		t.Fatalf("embeddings wrong: %v", back.Emb)
+	}
+}
+
+func TestPatternJSONValidation(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"edge out of range", `{"labels":[1,2],"edges":[[0,5]]}`},
+		{"negative endpoint", `{"labels":[1,2],"edges":[[-1,0]]}`},
+		{"embedding length", `{"labels":[1,2],"edges":[[0,1]],"embeddings":[[3]]}`},
+		{"garbage", `{`},
+	}
+	for _, c := range cases {
+		var p Pattern
+		if err := json.Unmarshal([]byte(c.in), &p); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestPatternJSONShape(t *testing.T) {
+	pg := graph.FromEdges([]graph.Label{4, 5}, []graph.Edge{{U: 0, W: 1}})
+	p := New(pg, nil)
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"labels":[4,5]`, `"edges":[[0,1]]`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("JSON missing %s: %s", want, s)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package pattern defines the frequent-pattern representation shared by
+// SpiderMine and the baseline miners: a small labeled pattern graph
+// together with the explicit list of its embeddings in the host graph, the
+// spider-set representation of Section 4.2.2, and boundary bookkeeping for
+// spider growth.
+package pattern
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/canon"
+	"repro/internal/graph"
+)
+
+// Embedding maps each pattern vertex (by index) to a host vertex. It is a
+// concrete subgraph of the host graph (the paper's e_P).
+type Embedding []graph.V
+
+// Clone returns a copy of the embedding.
+func (e Embedding) Clone() Embedding { return append(Embedding(nil), e...) }
+
+// Contains reports whether the embedding's image includes host vertex hv.
+func (e Embedding) Contains(hv graph.V) bool {
+	for _, x := range e {
+		if x == hv {
+			return true
+		}
+	}
+	return false
+}
+
+// ImageKey returns a canonical key identifying the embedded subgraph:
+// sorted (host) edge list of the pattern's image. Two embeddings with the
+// same key denote the same subgraph of the host.
+func (e Embedding) ImageKey(p *graph.Graph) string {
+	return canon.ImageKey(p, canon.Mapping(e))
+}
+
+// Pattern is a frequent pattern: a connected labeled pattern graph plus all
+// of its known embeddings in the host graph. Pattern size follows the
+// paper: |P| is the number of edges.
+type Pattern struct {
+	// ID is a process-unique identifier assigned by the miner.
+	ID int
+	// G is the pattern graph.
+	G *graph.Graph
+	// Emb is the embedding list E[P]. All entries map to distinct
+	// subgraphs of the host (distinct ImageKeys).
+	Emb []Embedding
+	// Origin is the pattern vertex the seed spider was headed at; growth
+	// radius is measured from it. -1 when not seed-grown (e.g. merged
+	// patterns re-rooted, baseline patterns).
+	Origin graph.V
+	// Merged records whether the pattern resulted from a CheckMerge (used
+	// by Stage II pruning).
+	Merged bool
+
+	inv       uint64
+	invOK     bool
+	spiderSig uint64
+	sigOK     bool
+	sigRadius int
+}
+
+// New creates a pattern with the given graph and embeddings.
+func New(g *graph.Graph, embs []Embedding) *Pattern {
+	return &Pattern{G: g, Emb: embs, Origin: -1}
+}
+
+// Size returns the pattern size |P| = number of edges, per the paper.
+func (p *Pattern) Size() int { return p.G.M() }
+
+// NV returns the number of pattern vertices.
+func (p *Pattern) NV() int { return p.G.N() }
+
+// SupportCount returns the raw number of stored embeddings. Overlap-aware
+// measures live in internal/support.
+func (p *Pattern) SupportCount() int { return len(p.Emb) }
+
+// Invariant returns the cached isomorphism-invariant hash of the pattern
+// graph.
+func (p *Pattern) Invariant() uint64 {
+	if !p.invOK {
+		p.inv = canon.Invariant(p.G)
+		p.invOK = true
+	}
+	return p.inv
+}
+
+// InvalidateCaches drops cached hashes after the pattern graph is replaced.
+func (p *Pattern) InvalidateCaches() {
+	p.invOK = false
+	p.sigOK = false
+}
+
+// String summarizes the pattern.
+func (p *Pattern) String() string {
+	return fmt.Sprintf("pattern{id=%d v=%d e=%d emb=%d}", p.ID, p.NV(), p.Size(), len(p.Emb))
+}
+
+// DedupeEmbeddings removes embeddings that denote the same host subgraph,
+// keeping first occurrences, and returns the number removed.
+func (p *Pattern) DedupeEmbeddings() int {
+	seen := make(map[string]struct{}, len(p.Emb))
+	kept := p.Emb[:0]
+	removed := 0
+	for _, e := range p.Emb {
+		k := e.ImageKey(p.G)
+		if _, dup := seen[k]; dup {
+			removed++
+			continue
+		}
+		seen[k] = struct{}{}
+		kept = append(kept, e)
+	}
+	p.Emb = kept
+	return removed
+}
+
+// Boundary returns the pattern vertices at exactly the given distance from
+// Origin — the frontier B[P] that SpiderGrow extends. If Origin is -1 the
+// boundary is every vertex (merged patterns grow from their whole rim).
+// Vertices are returned sorted, matching the paper's lexicographic queue.
+func (p *Pattern) Boundary(radius int) []graph.V {
+	if p.Origin < 0 {
+		all := make([]graph.V, p.NV())
+		for i := range all {
+			all[i] = graph.V(i)
+		}
+		return all
+	}
+	dist := p.G.BFSFrom(p.Origin)
+	var out []graph.V
+	for v, d := range dist {
+		if d == radius {
+			out = append(out, graph.V(v))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// UsesHostVertex reports whether any embedding of p covers hv, and returns
+// the index of the first such embedding.
+func (p *Pattern) UsesHostVertex(hv graph.V) (int, bool) {
+	for i, e := range p.Emb {
+		if e.Contains(hv) {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// SameStructure reports whether two patterns have isomorphic pattern
+// graphs, using the tiered check: invariant hash, then spider-set
+// signature, then exact isomorphism.
+func SameStructure(a, b *Pattern, r int) bool {
+	if a.G.N() != b.G.N() || a.G.M() != b.G.M() {
+		return false
+	}
+	if a.Invariant() != b.Invariant() {
+		return false
+	}
+	if a.SpiderSetSignature(r) != b.SpiderSetSignature(r) {
+		return false
+	}
+	return canon.Isomorphic(a.G, b.G)
+}

@@ -1,0 +1,92 @@
+package pattern
+
+import (
+	"sort"
+
+	"repro/internal/canon"
+	"repro/internal/graph"
+)
+
+// headMarker is added to the head vertex's label when canonicalizing a
+// rooted spider so the head is distinguishable from same-labeled vertices.
+// Pattern labels in practice are tiny integers, so no collision arises.
+const headMarker graph.Label = 1 << 24
+
+// RootedSpiderCode returns a canonical code for the r-neighborhood of v
+// inside p, rooted at v: the code of s_h[v] in the paper's notation. Two
+// vertices get equal codes iff their r-neighborhood subgraphs are
+// isomorphic by a head-preserving isomorphism.
+func RootedSpiderCode(p *graph.Graph, v graph.V, r int) string {
+	sub, orig := p.Neighborhood(v, r)
+	// Find v's index in the neighborhood and individualize its label.
+	b := graph.NewBuilder(sub.N(), sub.M())
+	for i := 0; i < sub.N(); i++ {
+		l := sub.Label(graph.V(i))
+		if orig[i] == v {
+			l += headMarker
+		}
+		b.AddVertex(l)
+	}
+	for _, e := range sub.Edges() {
+		b.AddEdge(e.U, e.W)
+	}
+	return canon.CanonicalCode(b.Build())
+}
+
+// SpiderSet returns the spider-set representation S[P]: the multiset of
+// rooted r-neighborhood spider codes, one per pattern vertex, sorted.
+// (Figure 3 of the paper; Theorem 2: isomorphic patterns have equal
+// spider-sets.)
+func SpiderSet(p *graph.Graph, r int) []string {
+	codes := make([]string, p.N())
+	for v := 0; v < p.N(); v++ {
+		codes[v] = RootedSpiderCode(p, graph.V(v), r)
+	}
+	sort.Strings(codes)
+	return codes
+}
+
+// SpiderSetSignature returns a 64-bit hash of the spider-set
+// representation at radius r, cached on the pattern. Patterns with unequal
+// signatures cannot be isomorphic (spider-set pruning); equal signatures
+// require an exact check.
+func (p *Pattern) SpiderSetSignature(r int) uint64 {
+	if p.sigOK && p.sigRadius == r {
+		return p.spiderSig
+	}
+	p.spiderSig = HashSpiderSet(SpiderSet(p.G, r))
+	p.sigOK = true
+	p.sigRadius = r
+	return p.spiderSig
+}
+
+// HashSpiderSet hashes a sorted spider-set into 64 bits.
+func HashSpiderSet(codes []string) uint64 {
+	var h uint64 = 14695981039346656037
+	const prime = 1099511628211
+	for _, c := range codes {
+		for i := 0; i < len(c); i++ {
+			h ^= uint64(c[i])
+			h *= prime
+		}
+		h ^= 0xfe
+		h *= prime
+	}
+	return h
+}
+
+// SpiderSetEqual compares the exact spider-set representations of two
+// pattern graphs (not just the hashes).
+func SpiderSetEqual(a, b *graph.Graph, r int) bool {
+	sa := SpiderSet(a, r)
+	sb := SpiderSet(b, r)
+	if len(sa) != len(sb) {
+		return false
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			return false
+		}
+	}
+	return true
+}

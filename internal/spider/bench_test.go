@@ -1,0 +1,50 @@
+package spider
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func BenchmarkMineStarsER(b *testing.B) {
+	g := gen.ErdosRenyi(2000, 4, 50, rand.New(rand.NewSource(1)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if stars := MineStars(g, Options{MinSupport: 2}); len(stars) == 0 {
+			b.Fatal("no stars")
+		}
+	}
+}
+
+func BenchmarkMineStarsScaleFree(b *testing.B) {
+	g := gen.BarabasiAlbert(2000, 2, 50, rand.New(rand.NewSource(2)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if stars := MineStars(g, Options{MinSupport: 2, MaxLeaves: 8}); len(stars) == 0 {
+			b.Fatal("no stars")
+		}
+	}
+}
+
+func BenchmarkMineTreesR2(b *testing.B) {
+	g := gen.ErdosRenyi(200, 3, 10, rand.New(rand.NewSource(3)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MineTrees(g, TreeOptions{MinSupport: 2, Radius: 2, MaxFanout: 2, MaxSpiders: 100_000})
+	}
+}
+
+func BenchmarkRandomSeed(b *testing.B) {
+	g := gen.ErdosRenyi(2000, 4, 50, rand.New(rand.NewSource(4)))
+	c := NewCatalog(MineStars(g, Options{MinSupport: 2}))
+	rng := rand.New(rand.NewSource(5))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RandomSeed(g, c, 86, 8, rng)
+	}
+}

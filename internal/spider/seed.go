@@ -1,0 +1,183 @@
+package spider
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// ComputeM returns the number of seed spiders to draw so that, by Lemma 2,
+// all top-K largest patterns are identified with probability at least 1−ε:
+// the minimal M with (1 − (M+1)(1−Vmin/|V|)^M)^K ≥ 1−ε.
+//
+// With ε=0.1, K=10, Vmin=|V|/10 this yields M≈85–86, matching the paper's
+// worked example. MaxM caps the search (the draw can never exceed the
+// spider catalog anyway).
+func ComputeM(numVertices, vmin, k int, epsilon float64) int {
+	if numVertices <= 0 || vmin <= 0 || k <= 0 {
+		return 1
+	}
+	q := float64(vmin) / float64(numVertices)
+	if q >= 1 {
+		return 2
+	}
+	target := 1 - epsilon
+	const maxM = 1 << 22
+	for m := 2; m <= maxM; m++ {
+		pfail := float64(m+1) * math.Pow(1-q, float64(m))
+		if pfail >= 1 {
+			continue
+		}
+		if math.Pow(1-pfail, float64(k)) >= target {
+			return m
+		}
+	}
+	return maxM
+}
+
+// PSuccess evaluates the Lemma 2 lower bound on the probability that all
+// top-K patterns are successfully identified with M seed spiders.
+func PSuccess(numVertices, vmin, k, m int) float64 {
+	q := float64(vmin) / float64(numVertices)
+	pfail := float64(m+1) * math.Pow(1-q, float64(m))
+	if pfail < 0 {
+		pfail = 0
+	}
+	if pfail > 1 {
+		pfail = 1
+	}
+	return math.Pow(1-pfail, float64(k))
+}
+
+// RandomSeed draws up to m distinct spiders uniformly at random from the
+// catalog and materializes each as a seed Pattern with its embeddings in g
+// (up to perHostCap embeddings per hosting head; 0 means DefaultPerHostCap).
+// IDs are assigned 0..len-1 in draw order.
+func RandomSeed(g *graph.Graph, c *Catalog, m int, perHostCap int, rng *rand.Rand) []*pattern.Pattern {
+	if m > c.Len() {
+		m = c.Len()
+	}
+	idx := rng.Perm(c.Len())[:m]
+	out := make([]*pattern.Pattern, 0, m)
+	for i, si := range idx {
+		p := Materialize(g, c.Stars[si], perHostCap)
+		p.ID = i
+		out = append(out, p)
+	}
+	return out
+}
+
+// DefaultPerHostCap bounds how many embeddings are enumerated per hosting
+// head vertex when materializing a star (leaf-choice combinations can be
+// C(degree, leaves) otherwise).
+const DefaultPerHostCap = 8
+
+// Materialize turns a mined star into a Pattern whose graph has the head
+// at vertex 0 and whose embeddings enumerate, per hosting head, up to
+// perHostCap distinct leaf assignments.
+func Materialize(g *graph.Graph, ms *MinedStar, perHostCap int) *pattern.Pattern {
+	if perHostCap <= 0 {
+		perHostCap = DefaultPerHostCap
+	}
+	pg := ms.Star.Graph()
+	var embs []pattern.Embedding
+	for _, head := range ms.Hosts {
+		embs = append(embs, starEmbeddings(g, ms.Star, head, perHostCap)...)
+	}
+	p := pattern.New(pg, embs)
+	p.Origin = 0
+	return p
+}
+
+// starEmbeddings enumerates up to cap distinct leaf assignments of the star
+// at the given head. Leaves with equal labels are interchangeable, so
+// assignments are enumerated as combinations per label group (host
+// neighbors in sorted order), which both avoids duplicate subgraphs and
+// keeps enumeration deterministic.
+func starEmbeddings(g *graph.Graph, s Star, head graph.V, cap int) []pattern.Embedding {
+	// Group leaf labels with multiplicities (Leaves is sorted).
+	type group struct {
+		label graph.Label
+		count int
+	}
+	var groups []group
+	for _, l := range s.Leaves {
+		if len(groups) > 0 && groups[len(groups)-1].label == l {
+			groups[len(groups)-1].count++
+		} else {
+			groups = append(groups, group{l, 1})
+		}
+	}
+	// Candidate neighbors per group.
+	cand := make([][]graph.V, len(groups))
+	for gi, gr := range groups {
+		for _, w := range g.Neighbors(head) {
+			if g.Label(w) == gr.label {
+				cand[gi] = append(cand[gi], w)
+			}
+		}
+		if len(cand[gi]) < gr.count {
+			return nil
+		}
+	}
+	var out []pattern.Embedding
+	assignment := make([][]graph.V, len(groups))
+	var rec func(gi int)
+	rec = func(gi int) {
+		if len(out) >= cap {
+			return
+		}
+		if gi == len(groups) {
+			emb := make(pattern.Embedding, 0, 1+len(s.Leaves))
+			emb = append(emb, head)
+			for _, chosen := range assignment {
+				emb = append(emb, chosen...)
+			}
+			out = append(out, emb)
+			return
+		}
+		combinations(cand[gi], groups[gi].count, func(chosen []graph.V) bool {
+			assignment[gi] = chosen
+			rec(gi + 1)
+			return len(out) < cap
+		})
+	}
+	rec(0)
+	return out
+}
+
+// combinations enumerates k-subsets of xs in lexicographic order, calling
+// fn with each; fn returning false stops enumeration.
+func combinations(xs []graph.V, k int, fn func([]graph.V) bool) {
+	n := len(xs)
+	if k > n || k <= 0 {
+		return
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	buf := make([]graph.V, k)
+	for {
+		for i, j := range idx {
+			buf[i] = xs[j]
+		}
+		if !fn(buf) {
+			return
+		}
+		// advance
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}

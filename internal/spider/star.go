@@ -1,0 +1,305 @@
+// Package spider implements Stage I of SpiderMine: mining all frequent
+// r-spiders of the host graph, the per-head spider index Spider(v), the
+// seed-count computation M(K, ε, Vmin) of Lemma 2, and the random seed
+// draw.
+//
+// For the default radius r=1 a spider is a star: a head label plus a
+// multiset of leaf labels. Stars are enumerated level-wise over the leaf
+// multiset with apriori pruning on head-count support. Deeper spiders
+// (r >= 2) are rooted label trees mined by composing stars (see tree.go);
+// their cost grows exponentially in r, matching Appendix C(3).
+package spider
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Star is a radius-1 spider: Head is the head vertex label; Leaves is the
+// sorted multiset of leaf labels.
+type Star struct {
+	Head   graph.Label
+	Leaves []graph.Label
+}
+
+// Key returns a canonical string key for the star.
+func (s Star) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d:", s.Head)
+	for i, l := range s.Leaves {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", l)
+	}
+	return b.String()
+}
+
+// Graph materializes the star as a pattern graph: vertex 0 is the head.
+func (s Star) Graph() *graph.Graph {
+	b := graph.NewBuilder(1+len(s.Leaves), len(s.Leaves))
+	head := b.AddVertex(s.Head)
+	for _, l := range s.Leaves {
+		leaf := b.AddVertex(l)
+		b.AddEdge(head, leaf)
+	}
+	return b.Build()
+}
+
+// Size returns the number of edges of the star.
+func (s Star) Size() int { return len(s.Leaves) }
+
+// MinedStar couples a star with the host head vertices that can host it.
+type MinedStar struct {
+	Star  Star
+	Hosts []graph.V // sorted head vertices v with label(v)=Head and enough labeled neighbors
+}
+
+// Support returns the head-count support of the star: the number of
+// distinct host vertices whose neighborhoods contain the leaf multiset.
+// This is the harmful-overlap support of a star up to leaf sharing, and is
+// anti-monotone in the leaf multiset.
+func (m *MinedStar) Support() int { return len(m.Hosts) }
+
+// Options configures spider mining.
+type Options struct {
+	// MinSupport is the support threshold σ.
+	MinSupport int
+	// MaxLeaves caps the number of leaves per star (0 = max degree).
+	// Larger stars are closed under the growth procedure anyway, so a cap
+	// bounds Stage I without losing large patterns.
+	MaxLeaves int
+	// Radius r of the spiders (1 or 2+; radius >= 2 uses tree spiders).
+	Radius int
+	// MaxSpiders aborts enumeration past this many frequent spiders
+	// (0 = unlimited); scale-free graphs can produce millions (Fig. 17).
+	MaxSpiders int
+	// Workers parallelizes level expansion: 0/1 sequential, > 1 that many
+	// goroutines, < 0 GOMAXPROCS. Results are identical across settings
+	// (each parent star expands independently; output order is re-sorted).
+	Workers int
+}
+
+// DefaultOptions returns the options used throughout the paper's
+// experiments: σ as given, r=1, no caps.
+func DefaultOptions(minSupport int) Options {
+	return Options{MinSupport: minSupport, Radius: 1}
+}
+
+// MineStars enumerates all frequent stars of g level-wise.
+//
+// Level 1 counts single-leaf stars from the edge list. Level k+1 extends
+// each frequent star by one leaf label >= its last leaf (canonical
+// generation order, no duplicates), re-verifying hosts. Hosts are carried
+// level to level so each extension only scans its parent's host list.
+func MineStars(g *graph.Graph, opt Options) []*MinedStar {
+	sigma := opt.MinSupport
+	if sigma < 1 {
+		sigma = 1
+	}
+	maxLeaves := opt.MaxLeaves
+	if maxLeaves <= 0 {
+		maxLeaves = g.MaxDegree()
+	}
+
+	// Per-vertex neighbor label multiset, as sorted label slice.
+	nbrLabels := make([][]graph.Label, g.N())
+	for v := 0; v < g.N(); v++ {
+		ls := make([]graph.Label, 0, g.Degree(graph.V(v)))
+		for _, w := range g.Neighbors(graph.V(v)) {
+			ls = append(ls, g.Label(w))
+		}
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		nbrLabels[v] = ls
+	}
+	countLabel := func(v graph.V, l graph.Label) int {
+		ls := nbrLabels[v]
+		lo := sort.Search(len(ls), func(i int) bool { return ls[i] >= l })
+		hi := sort.Search(len(ls), func(i int) bool { return ls[i] > l })
+		return hi - lo
+	}
+
+	// Level 1.
+	type hostKey struct {
+		head, leaf graph.Label
+	}
+	lvl1 := make(map[hostKey][]graph.V)
+	for v := 0; v < g.N(); v++ {
+		hl := g.Label(graph.V(v))
+		var prev graph.Label = -1
+		for _, l := range nbrLabels[v] {
+			if l == prev {
+				continue
+			}
+			prev = l
+			k := hostKey{hl, l}
+			lvl1[k] = append(lvl1[k], graph.V(v))
+		}
+	}
+	var frontier []*MinedStar
+	for k, hosts := range lvl1 {
+		if len(hosts) >= sigma {
+			sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+			frontier = append(frontier, &MinedStar{
+				Star:  Star{Head: k.head, Leaves: []graph.Label{k.leaf}},
+				Hosts: hosts,
+			})
+		}
+	}
+	sortMined(frontier)
+
+	all := append([]*MinedStar(nil), frontier...)
+	expand := func(ms *MinedStar) []*MinedStar {
+		var out []*MinedStar
+		last := ms.Star.Leaves[len(ms.Star.Leaves)-1]
+		// Candidate extension labels: any label >= last present among
+		// hosts' neighbors.
+		candSet := make(map[graph.Label]struct{})
+		for _, v := range ms.Hosts {
+			ls := nbrLabels[v]
+			lo := sort.Search(len(ls), func(i int) bool { return ls[i] >= last })
+			var prev graph.Label = -1
+			for _, l := range ls[lo:] {
+				if l != prev {
+					candSet[l] = struct{}{}
+					prev = l
+				}
+			}
+		}
+		cands := make([]graph.Label, 0, len(candSet))
+		for l := range candSet {
+			cands = append(cands, l)
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+
+		needOf := func(l graph.Label) int {
+			need := 1
+			for _, x := range ms.Star.Leaves {
+				if x == l {
+					need++
+				}
+			}
+			return need
+		}
+		for _, l := range cands {
+			need := needOf(l)
+			var hosts []graph.V
+			for _, v := range ms.Hosts {
+				if countLabel(v, l) >= need {
+					hosts = append(hosts, v)
+				}
+			}
+			if len(hosts) < sigma {
+				continue
+			}
+			leaves := make([]graph.Label, len(ms.Star.Leaves)+1)
+			copy(leaves, ms.Star.Leaves)
+			leaves[len(leaves)-1] = l
+			sort.Slice(leaves, func(i, j int) bool { return leaves[i] < leaves[j] })
+			out = append(out, &MinedStar{Star: Star{Head: ms.Star.Head, Leaves: leaves}, Hosts: hosts})
+		}
+		return out
+	}
+	for level := 1; level < maxLeaves && len(frontier) > 0; level++ {
+		if opt.MaxSpiders > 0 && len(all) >= opt.MaxSpiders {
+			break
+		}
+		next := expandLevel(frontier, expand, opt.Workers)
+		// Canonical generation (extend only with labels >= last) guarantees
+		// uniqueness already; sort for determinism.
+		sortMined(next)
+		all = append(all, next...)
+		frontier = next
+	}
+	if opt.MaxSpiders > 0 && len(all) > opt.MaxSpiders {
+		all = all[:opt.MaxSpiders]
+	}
+	return all
+}
+
+func sortMined(ms []*MinedStar) {
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Star.Key() < ms[j].Star.Key() })
+}
+
+// expandLevel applies expand to every frontier star, optionally with a
+// worker pool. Per-parent outputs are concatenated in frontier order, so
+// the result is identical for any worker count.
+func expandLevel(frontier []*MinedStar, expand func(*MinedStar) []*MinedStar, workers int) []*MinedStar {
+	if workers < 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers <= 1 || len(frontier) < 2 {
+		var next []*MinedStar
+		for _, ms := range frontier {
+			next = append(next, expand(ms)...)
+		}
+		return next
+	}
+	if workers > len(frontier) {
+		workers = len(frontier)
+	}
+	results := make([][]*MinedStar, len(frontier))
+	var wg sync.WaitGroup
+	work := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = expand(frontier[i])
+			}
+		}()
+	}
+	for i := range frontier {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	var next []*MinedStar
+	for _, r := range results {
+		next = append(next, r...)
+	}
+	return next
+}
+
+// Catalog indexes mined spiders for the random draw and the per-head
+// Spider(v) lookup used by SpiderGrow and the Lemma 2 analysis.
+type Catalog struct {
+	Stars  []*MinedStar
+	byHead map[graph.V][]int
+}
+
+// NewCatalog builds a catalog over mined stars.
+func NewCatalog(stars []*MinedStar) *Catalog {
+	c := &Catalog{Stars: stars, byHead: make(map[graph.V][]int)}
+	for i, ms := range stars {
+		for _, v := range ms.Hosts {
+			c.byHead[v] = append(c.byHead[v], i)
+		}
+	}
+	return c
+}
+
+// Len returns the number of distinct frequent spiders |S_all|.
+func (c *Catalog) Len() int { return len(c.Stars) }
+
+// AtHead returns the indices of spiders hostable at head vertex v
+// (the paper's Spider(v)).
+func (c *Catalog) AtHead(v graph.V) []int { return c.byHead[v] }
+
+// MaximalAtHead returns the index of the spider with the most leaves
+// hostable at v (ties broken by key order), or -1.
+func (c *Catalog) MaximalAtHead(v graph.V) int {
+	best := -1
+	for _, i := range c.byHead[v] {
+		if best < 0 || len(c.Stars[i].Star.Leaves) > len(c.Stars[best].Star.Leaves) {
+			best = i
+		}
+	}
+	return best
+}

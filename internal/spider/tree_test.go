@@ -1,0 +1,111 @@
+package spider
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestTreeNodeKeyAndSize(t *testing.T) {
+	leaf := &TreeNode{Label: 2}
+	root := &TreeNode{Label: 1, Children: []*TreeNode{leaf, {Label: 3}}}
+	if root.Size() != 2 {
+		t.Fatalf("size %d", root.Size())
+	}
+	if root.Depth() != 1 {
+		t.Fatalf("depth %d", root.Depth())
+	}
+	deep := &TreeNode{Label: 0, Children: []*TreeNode{{Label: 1, Children: []*TreeNode{{Label: 2}}}}}
+	if deep.Depth() != 2 {
+		t.Fatalf("deep depth %d", deep.Depth())
+	}
+	// keys distinguish structure
+	a := &TreeNode{Label: 1, Children: []*TreeNode{{Label: 2}, {Label: 2}}}
+	b := &TreeNode{Label: 1, Children: []*TreeNode{{Label: 2, Children: []*TreeNode{{Label: 2}}}}}
+	if a.Key() == b.Key() {
+		t.Fatal("distinct trees share key")
+	}
+}
+
+func TestTreeGraph(t *testing.T) {
+	root := &TreeNode{Label: 1, Children: []*TreeNode{{Label: 2}, {Label: 3, Children: []*TreeNode{{Label: 4}}}}}
+	g := root.Graph()
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("tree graph: %v", g)
+	}
+	if g.Label(0) != 1 {
+		t.Fatal("root must be vertex 0")
+	}
+}
+
+func TestCanHost(t *testing.T) {
+	// host: path 1-2-3
+	g := graph.FromEdges([]graph.Label{1, 2, 3},
+		[]graph.Edge{{U: 0, W: 1}, {U: 1, W: 2}})
+	tr := &TreeNode{Label: 2, Children: []*TreeNode{{Label: 1}, {Label: 3}}}
+	if !CanHost(g, tr, 1) {
+		t.Fatal("center must host 2(1)(3)")
+	}
+	if CanHost(g, tr, 0) {
+		t.Fatal("end must not host a label-2 root")
+	}
+	// needs two distinct children with same label
+	tr2 := &TreeNode{Label: 2, Children: []*TreeNode{{Label: 1}, {Label: 1}}}
+	if CanHost(g, tr2, 1) {
+		t.Fatal("only one label-1 neighbor exists")
+	}
+}
+
+func TestCanHostDoesNotReuseParent(t *testing.T) {
+	// host: edge 1-2. tree: 1 -> 2 -> 1 requires a second label-1 vertex
+	// beyond the parent.
+	g := graph.FromEdges([]graph.Label{1, 2}, []graph.Edge{{U: 0, W: 1}})
+	tr := &TreeNode{Label: 1, Children: []*TreeNode{
+		{Label: 2, Children: []*TreeNode{{Label: 1}}},
+	}}
+	if CanHost(g, tr, 0) {
+		t.Fatal("tree must not walk back through its parent")
+	}
+}
+
+func TestMineTreesDepth1MatchesStars(t *testing.T) {
+	g := twoStarsGraph()
+	trees := MineTrees(g, TreeOptions{MinSupport: 2, Radius: 1})
+	// The tree 9(1)(1)(2) must be found with 2 hosts.
+	found := false
+	for _, mt := range trees {
+		if mt.Tree.Depth() <= 1 && mt.Tree.Size() == 3 && mt.Tree.Label == 9 {
+			if mt.Support() == 2 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("depth-1 tree spider 9(1)(1)(2) not mined")
+	}
+	for _, mt := range trees {
+		if mt.Tree.Depth() > 1 {
+			t.Fatalf("radius 1 exceeded: %s", mt.Tree.Key())
+		}
+		if mt.Support() < 2 {
+			t.Fatalf("infrequent tree returned: %s", mt.Tree.Key())
+		}
+	}
+}
+
+func TestMineTreesDeeperFindsMore(t *testing.T) {
+	g := twoStarsGraph()
+	t1 := MineTrees(g, TreeOptions{MinSupport: 2, Radius: 1, MaxFanout: 3})
+	t2 := MineTrees(g, TreeOptions{MinSupport: 2, Radius: 2, MaxFanout: 3})
+	if len(t2) <= len(t1) {
+		t.Fatalf("radius 2 should find more spiders: %d vs %d", len(t2), len(t1))
+	}
+}
+
+func TestMineTreesMaxSpiders(t *testing.T) {
+	g := twoStarsGraph()
+	trees := MineTrees(g, TreeOptions{MinSupport: 1, Radius: 2, MaxFanout: 2, MaxSpiders: 5})
+	if len(trees) > 5 {
+		t.Fatalf("MaxSpiders violated: %d", len(trees))
+	}
+}

@@ -1,0 +1,250 @@
+package spidermine
+
+import (
+	"sort"
+
+	"repro/internal/canon"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+func isoCheck(a, b *pattern.Pattern) bool { return canon.Isomorphic(a.G, b.G) }
+
+// growAll runs one SpiderGrow iteration over every working pattern,
+// reporting whether any pattern was extended. With cfg.Workers > 1 (or
+// < 0 for GOMAXPROCS) patterns grow concurrently; results are identical
+// because patterns are grown independently.
+func (m *Miner) growAll(ws []*grown) bool {
+	if m.cfg.Workers > 1 || m.cfg.Workers < 0 {
+		return m.growAllParallel(ws, m.cfg.Workers)
+	}
+	any := false
+	for _, w := range ws {
+		if w.done {
+			continue
+		}
+		if m.growPattern(w) {
+			any = true
+		} else {
+			w.done = true
+		}
+	}
+	return any
+}
+
+// growPattern performs one radius-increasing growth step (Algorithm 2 +
+// Algorithm 3): at every boundary vertex, append the maximal frequent
+// spider extension. Returns whether the pattern gained any vertex.
+//
+// SpiderExtend's two invariants are enforced:
+//   - Maximal overlap: the appended spider is the largest frequent star at
+//     the boundary image (greedy maximal leaf multiset).
+//   - Internal integrity: only edges from the boundary vertex to new
+//     vertices are added; the interior of P is untouched.
+func (m *Miner) growPattern(w *grown) bool {
+	p := w.p
+	boundary := p.Boundary(w.radius)
+	grewAny := false
+	for _, b := range boundary {
+		if int(b) >= p.NV() {
+			continue // pattern graph replaced with fewer vertices (defensive)
+		}
+		if m.extendAt(p, b) {
+			grewAny = true
+		}
+	}
+	if grewAny {
+		// Growth adds one ring of leaves per pass regardless of the seed
+		// radius (stars are the growth unit; cfg.Radius only shapes the
+		// Stage I seed population), so the frontier advances by exactly 1.
+		w.radius++
+	}
+	return grewAny
+}
+
+// extendAt grows pattern p at boundary vertex b by the maximal frequent
+// leaf multiset, mutating p (graph, embeddings, caches) in place.
+// Returns whether at least one leaf was added.
+func (m *Miner) extendAt(p *pattern.Pattern, b graph.V) bool {
+	if len(p.Emb) == 0 {
+		return false
+	}
+	// Diameter guard: appending a leaf at b yields diameter
+	// max(diam, ecc(b)+1, 2); never grow past Dmax (Definition 2 demands
+	// diam(P) <= Dmax, so growth in that direction cannot lead to a valid
+	// result pattern).
+	eccB := p.G.Eccentricity(b)
+	if eccB+1 > m.cfg.Dmax {
+		return false
+	}
+	headLabel := p.G.Label(b)
+
+	// availOf computes, per embedding, the multiset of candidate new-leaf
+	// labels: host neighbors of the image of b that are outside the
+	// embedding image and form a frequent (head,leaf) spider pair.
+	avail := make([]map[graph.Label][]graph.V, len(p.Emb))
+	for i, e := range p.Emb {
+		h := e[b]
+		inImage := make(map[graph.V]bool, len(e))
+		for _, hv := range e {
+			inImage[hv] = true
+		}
+		byLabel := make(map[graph.Label][]graph.V)
+		for _, nb := range m.g.Neighbors(h) {
+			if inImage[nb] {
+				continue
+			}
+			l := m.g.Label(nb)
+			if !m.freqPair[[2]graph.Label{headLabel, l}] {
+				continue
+			}
+			byLabel[l] = append(byLabel[l], nb)
+		}
+		avail[i] = byLabel
+	}
+
+	// Greedy maximal frequent multiset: repeatedly add the label that the
+	// most surviving embeddings can still host; stop when no label keeps
+	// support >= σ.
+	chosen := map[graph.Label]int{} // label -> count
+	survivors := make([]int, len(p.Emb))
+	for i := range survivors {
+		survivors[i] = i
+	}
+	for {
+		// Candidate labels: anything available beyond its chosen count.
+		counts := map[graph.Label]int{}
+		for _, ei := range survivors {
+			for l, vs := range avail[ei] {
+				if len(vs) > chosen[l] {
+					counts[l]++
+				}
+			}
+		}
+		var bestLabel graph.Label = -1
+		bestCount := 0
+		// Deterministic scan order.
+		labels := make([]graph.Label, 0, len(counts))
+		for l := range counts {
+			labels = append(labels, l)
+		}
+		sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+		for _, l := range labels {
+			if c := counts[l]; c > bestCount {
+				bestCount = c
+				bestLabel = l
+			}
+		}
+		if bestLabel < 0 {
+			break
+		}
+		// Which embeddings survive if we add bestLabel?
+		var keep []int
+		for _, ei := range survivors {
+			if len(avail[ei][bestLabel]) > chosen[bestLabel] {
+				keep = append(keep, ei)
+			}
+		}
+		if m.embSupport(p, keep) < m.cfg.MinSupport {
+			break
+		}
+		chosen[bestLabel]++
+		survivors = keep
+	}
+	total := 0
+	for _, c := range chosen {
+		total += c
+	}
+	if total == 0 {
+		return false
+	}
+
+	// Build the extended pattern graph: new vertices appended after
+	// existing ones, one per chosen leaf, edges b—leaf.
+	labels := make([]graph.Label, 0, len(chosen))
+	for l := range chosen {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+
+	nb := graph.NewBuilder(p.NV()+total, p.Size()+total)
+	for v := 0; v < p.NV(); v++ {
+		nb.AddVertex(p.G.Label(graph.V(v)))
+	}
+	for _, e := range p.G.Edges() {
+		nb.AddEdge(e.U, e.W)
+	}
+	for _, l := range labels {
+		for c := 0; c < chosen[l]; c++ {
+			leaf := nb.AddVertex(l)
+			nb.AddEdge(b, leaf)
+		}
+	}
+	newG := nb.Build()
+	// Exact diameter check (the ecc pre-check above is necessary but not
+	// sufficient once several boundary vertices have grown this pass).
+	// For very large patterns the O(V·(V+E)) exact check is deferred to
+	// the final top-K filter; the ecc guard alone bounds overshoot to +1.
+	if newG.N() <= 256 && newG.Diameter() > m.cfg.Dmax {
+		return false
+	}
+
+	// Extend surviving embeddings: per label, take the first chosen[l]
+	// available neighbors in host-id order (labels with equal value are
+	// interchangeable positions, so this is canonical).
+	newEmbs := make([]pattern.Embedding, 0, len(survivors))
+	for _, ei := range survivors {
+		e := p.Emb[ei]
+		ext := make(pattern.Embedding, 0, len(e)+total)
+		ext = append(ext, e...)
+		ok := true
+		for _, l := range labels {
+			vs := avail[ei][l]
+			if len(vs) < chosen[l] {
+				ok = false
+				break
+			}
+			sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+			ext = append(ext, vs[:chosen[l]]...)
+		}
+		if ok {
+			newEmbs = append(newEmbs, ext)
+		}
+	}
+	// Dedupe images before the final support check so overlapping
+	// embeddings collapsing into one subgraph cannot fake support.
+	seenKeys := make(map[string]struct{}, len(newEmbs))
+	deduped := newEmbs[:0]
+	for _, e := range newEmbs {
+		k := e.ImageKey(newG)
+		if _, dup := seenKeys[k]; dup {
+			continue
+		}
+		seenKeys[k] = struct{}{}
+		deduped = append(deduped, e)
+		if len(deduped) >= m.cfg.MaxEmbPerPattern {
+			break
+		}
+	}
+	if m.embSupport2(newG, deduped) < m.cfg.MinSupport {
+		return false
+	}
+	p.G = newG
+	p.Emb = deduped
+	p.InvalidateCaches()
+	return true
+}
+
+// embSupport computes σ-comparable support of the subset of p's embeddings
+// given by indices, against p's current graph.
+func (m *Miner) embSupport(p *pattern.Pattern, idx []int) int {
+	sub := make([]pattern.Embedding, 0, len(idx))
+	for _, i := range idx {
+		sub = append(sub, p.Emb[i])
+	}
+	return m.supFn(p.G, sub)
+}
+
+func (m *Miner) embSupport2(pg *graph.Graph, embs []pattern.Embedding) int {
+	return m.supFn(pg, embs)
+}

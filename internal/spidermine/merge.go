@@ -1,0 +1,252 @@
+package spidermine
+
+import (
+	"sort"
+
+	"repro/internal/canon"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// checkMerges detects pairs of working patterns whose embeddings overlap on
+// host vertices and merges them when the union subgraph is frequent
+// (Algorithm 4). The paper avoids pairwise checks by watching for the same
+// spider (host head) being used by different patterns; we watch host-vertex
+// usage, which is the materialized equivalent.
+//
+// A successful merge removes both parents from the working set and adds the
+// merged pattern, marked Merged for Stage II pruning. The merged pattern's
+// embeddings are the iso-consistent union images.
+func (m *Miner) checkMerges(ws []*grown) []*grown {
+	if len(ws) < 2 {
+		return ws
+	}
+	type slot struct {
+		w   int // index into ws
+		emb int // embedding index
+	}
+	// Overlap detection samples at most mergeScanEmb embeddings per pattern:
+	// merging only needs *one* overlapping pair per site, and the usage
+	// index otherwise grows as patterns × embeddings × pattern size.
+	const mergeScanEmb = 256
+	usage := make(map[graph.V][]slot)
+	for wi, w := range ws {
+		embs := w.p.Emb
+		if len(embs) > mergeScanEmb {
+			embs = embs[:mergeScanEmb]
+		}
+		for ei, e := range embs {
+			for _, hv := range e {
+				usage[hv] = append(usage[hv], slot{wi, ei})
+			}
+		}
+	}
+	// Collect overlapping (pattern, pattern) pairs with their embedding
+	// pairs, deduplicated.
+	type pairKey struct{ a, b int }
+	pairs := make(map[pairKey]map[embPair]struct{})
+	for _, slots := range usage {
+		if len(slots) < 2 {
+			continue
+		}
+		for i := 0; i < len(slots); i++ {
+			for j := i + 1; j < len(slots); j++ {
+				a, b := slots[i], slots[j]
+				if a.w == b.w {
+					continue
+				}
+				pk := pairKey{a.w, b.w}
+				ep := embPair{a.emb, b.emb}
+				if a.w > b.w {
+					pk = pairKey{b.w, a.w}
+					ep = embPair{b.emb, a.emb}
+				}
+				if pairs[pk] == nil {
+					pairs[pk] = make(map[embPair]struct{})
+				}
+				if len(pairs[pk]) < m.cfg.MergePairCap {
+					pairs[pk][ep] = struct{}{}
+				}
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		return ws
+	}
+	// Deterministic pair order.
+	keys := make([]pairKey, 0, len(pairs))
+	for pk := range pairs {
+		keys = append(keys, pk)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+
+	consumed := make([]bool, len(ws))
+	var merged []*grown
+	for _, pk := range keys {
+		if consumed[pk.a] || consumed[pk.b] {
+			continue
+		}
+		wa, wb := ws[pk.a], ws[pk.b]
+		mp := m.tryMerge(wa.p, wb.p, pairs[pk])
+		if mp == nil {
+			continue
+		}
+		consumed[pk.a] = true
+		consumed[pk.b] = true
+		m.stats.Merges++
+		radius := wa.radius
+		if wb.radius > radius {
+			radius = wb.radius
+		}
+		merged = append(merged, &grown{p: mp, radius: radius})
+	}
+	if len(merged) == 0 {
+		return ws
+	}
+	out := make([]*grown, 0, len(ws))
+	for i, w := range ws {
+		if !consumed[i] {
+			out = append(out, w)
+		}
+	}
+	return append(out, merged...)
+}
+
+// embPair indexes one embedding of each of two patterns being merged.
+type embPair struct{ ea, eb int }
+
+// tryMerge builds union subgraphs for each overlapping embedding pair,
+// buckets them by structure, and if the largest structure class is
+// frequent, returns it as the merged pattern. Returns nil if no frequent
+// merged structure exists.
+func (m *Miner) tryMerge(pa, pb *pattern.Pattern, embPairs map[embPair]struct{}) *pattern.Pattern {
+	type bucket struct {
+		repr *graph.Graph // representative pattern graph
+		embs []pattern.Embedding
+		seen map[string]struct{} // image keys, dedupe
+	}
+	buckets := make(map[uint64][]*bucket)
+
+	edgesOf := func(p *pattern.Pattern, e pattern.Embedding) []graph.Edge {
+		out := make([]graph.Edge, 0, p.Size())
+		for _, pe := range p.G.Edges() {
+			out = append(out, graph.NormEdge(e[pe.U], e[pe.W]))
+		}
+		return out
+	}
+
+	// Deterministic order over embedding pairs.
+	ordered := make([]embPair, 0, len(embPairs))
+	for k := range embPairs {
+		ordered = append(ordered, k)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].ea != ordered[j].ea {
+			return ordered[i].ea < ordered[j].ea
+		}
+		return ordered[i].eb < ordered[j].eb
+	})
+
+	for _, pr := range ordered {
+		if pr.ea >= len(pa.Emb) || pr.eb >= len(pb.Emb) {
+			continue
+		}
+		union := graph.UnionEdges(edgesOf(pa, pa.Emb[pr.ea]), edgesOf(pb, pb.Emb[pr.eb]))
+		ug, verts := m.g.SubgraphOfEdges(union)
+		if !ug.IsConnected() {
+			continue
+		}
+		// Merged patterns must respect the diameter bound; a union that
+		// exceeds Dmax cannot be a subgraph of a valid result pattern that
+		// this merge is meant to witness.
+		if ug.Diameter() > m.cfg.Dmax {
+			continue
+		}
+		emb := make(pattern.Embedding, len(verts))
+		copy(emb, verts)
+
+		inv := canon.Invariant(ug)
+		placed := false
+		for _, bk := range buckets[inv] {
+			if bk.repr.N() != ug.N() || bk.repr.M() != ug.M() {
+				continue
+			}
+			mapping := canon.IsomorphismMapping(ug, bk.repr)
+			if mapping == nil {
+				m.stats.IsoRun++
+				continue
+			}
+			m.stats.IsoRun++
+			// Re-express emb in repr's vertex order: repr vertex i hosts
+			// emb[inverse(i)].
+			re := make(pattern.Embedding, len(emb))
+			for ugv, reprv := range mapping {
+				re[reprv] = emb[ugv]
+			}
+			key := re.ImageKey(bk.repr)
+			if _, dup := bk.seen[key]; !dup {
+				bk.seen[key] = struct{}{}
+				bk.embs = append(bk.embs, re)
+			}
+			placed = true
+			break
+		}
+		if !placed {
+			bk := &bucket{repr: ug, seen: map[string]struct{}{}}
+			key := emb.ImageKey(ug)
+			bk.seen[key] = struct{}{}
+			bk.embs = append(bk.embs, emb)
+			buckets[inv] = append(buckets[inv], bk)
+		}
+	}
+
+	// Choose the best frequent bucket: largest structure first, then most
+	// embeddings, then a canonical tie-break on the first embedding's
+	// image key (map iteration order must not leak into results).
+	var best *bucket
+	bestKey := ""
+	firstKey := func(bk *bucket) string {
+		if len(bk.embs) == 0 {
+			return ""
+		}
+		k := bk.embs[0].ImageKey(bk.repr)
+		for _, e := range bk.embs[1:] {
+			if ek := e.ImageKey(bk.repr); ek < k {
+				k = ek
+			}
+		}
+		return k
+	}
+	for _, bks := range buckets {
+		for _, bk := range bks {
+			if m.supFn(bk.repr, bk.embs) < m.cfg.MinSupport {
+				continue
+			}
+			switch {
+			case best == nil,
+				bk.repr.M() > best.repr.M(),
+				bk.repr.M() == best.repr.M() && len(bk.embs) > len(best.embs):
+				best = bk
+				bestKey = firstKey(bk)
+			case bk.repr.M() == best.repr.M() && len(bk.embs) == len(best.embs):
+				if k := firstKey(bk); k < bestKey {
+					best = bk
+					bestKey = k
+				}
+			}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	mp := pattern.New(best.repr, best.embs)
+	mp.ID = m.newID()
+	mp.Merged = true
+	mp.Origin = -1 // merged patterns grow from their entire rim
+	return mp
+}

@@ -1,0 +1,387 @@
+// Package spidermine implements the SpiderMine algorithm (Algorithm 1 of
+// the paper): probabilistic mining of the top-K largest frequent patterns
+// of a single massive network, with diameter bound Dmax and success
+// probability 1−ε.
+//
+// The three stages:
+//
+//	Stage I   — mine all frequent r-spiders (internal/spider).
+//	Stage II  — draw M random seed spiders (M from Lemma 2), grow each by
+//	            SpiderGrow for ⌈Dmax/2r⌉ iterations, merging patterns whose
+//	            embeddings start to overlap; prune everything unmerged.
+//	Stage III — grow survivors to maximality; return the K largest.
+package spidermine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/spider"
+	"repro/internal/support"
+)
+
+// Config parameterizes SpiderMine. Zero values get sensible defaults from
+// (*Config).withDefaults.
+type Config struct {
+	// MinSupport is the support threshold σ (embeddings in the single-graph
+	// setting; containing graphs in the transaction setting).
+	MinSupport int
+	// K is the number of patterns to return.
+	K int
+	// Epsilon is the error bound ε: the result contains the true top-K
+	// with probability >= 1−ε.
+	Epsilon float64
+	// Dmax bounds the diameter of returned patterns.
+	Dmax int
+	// Radius is the spider radius r (default 1).
+	Radius int
+	// Vmin is the user's lower bound on the vertex count of a "large"
+	// pattern, used only to compute M (default |V(G)|/10, the paper's
+	// example setting).
+	Vmin int
+	// Measure is the support measure used in every σ-comparison. The
+	// default CountAll counts distinct embedding subgraphs, matching
+	// Definition 2's Psup = E[P] (and Algorithm 3 line 16); HarmfulOverlap
+	// is the Fiedler–Borgelt measure the paper adopts for graphs with few
+	// labels where raw embeddings overlap heavily (e.g. the DBLP data).
+	Measure support.Measure
+	// PerHostCap caps embeddings enumerated per spider host head.
+	PerHostCap int
+	// MaxLeavesPerStar caps star spider size in Stage I (0 = unlimited).
+	MaxLeavesPerStar int
+	// Seed seeds all randomness; runs are deterministic per seed.
+	Seed int64
+	// MaxGrowIters caps Stage III iterations (safety valve; default 64).
+	MaxGrowIters int
+	// Restarts reruns the randomized Stages II–III this many times and
+	// unions the results (§4.2.1 notes spider mining is a one-time cost
+	// that multiple randomized runs can amortize). Default 1.
+	Restarts int
+	// MOverride, if > 0, forces the seed draw size instead of Lemma 2's M.
+	MOverride int
+	// DisableSpiderSetPruning turns off the spider-set signature filter
+	// (ablation; every identity check falls through to isomorphism).
+	DisableSpiderSetPruning bool
+	// KeepUnmerged disables Stage II pruning (ablation: all grown seeds
+	// survive to Stage III).
+	KeepUnmerged bool
+	// MaxSpiders caps Stage I enumeration (0 = unlimited).
+	MaxSpiders int
+	// MergePairCap bounds overlapping-embedding pairs examined per pattern
+	// pair each iteration (default 4096).
+	MergePairCap int
+	// MaxEmbPerPattern caps the embedding list carried per pattern
+	// (default 1024). On dense low-label graphs raw embedding lists grow
+	// combinatorially; trimming makes counted support a lower bound, which
+	// can only lose patterns, never admit false ones.
+	MaxEmbPerPattern int
+	// Workers sets growth parallelism: 0/1 sequential, > 1 that many
+	// goroutines, < 0 GOMAXPROCS. Patterns grow independently, so results
+	// are identical across settings.
+	Workers int
+}
+
+func (c Config) withDefaults(g *graph.Graph) Config {
+	if c.MinSupport <= 0 {
+		c.MinSupport = 2
+	}
+	if c.K <= 0 {
+		c.K = 10
+	}
+	if c.Epsilon <= 0 || c.Epsilon >= 1 {
+		c.Epsilon = 0.1
+	}
+	if c.Dmax <= 0 {
+		c.Dmax = 4
+	}
+	if c.Radius <= 0 {
+		c.Radius = 1
+	}
+	if c.Vmin <= 0 {
+		c.Vmin = g.N() / 10
+		if c.Vmin < 1 {
+			c.Vmin = 1
+		}
+	}
+	if c.PerHostCap <= 0 {
+		c.PerHostCap = spider.DefaultPerHostCap
+	}
+	if c.MaxGrowIters <= 0 {
+		c.MaxGrowIters = 64
+	}
+	if c.Restarts <= 0 {
+		c.Restarts = 1
+	}
+	if c.MergePairCap <= 0 {
+		c.MergePairCap = 4096
+	}
+	if c.MaxEmbPerPattern <= 0 {
+		c.MaxEmbPerPattern = 1024
+	}
+	return c
+}
+
+// Stats reports per-run counters.
+type Stats struct {
+	NumSpiders     int           // |S_all| mined in Stage I
+	M              int           // seed draw size (Lemma 2)
+	GrowIterations int           // total SpiderGrow iterations
+	Merges         int           // successful CheckMerge events
+	IsoSkipped     int64         // isomorphism tests skipped by spider-set pruning
+	IsoRun         int64         // exact isomorphism tests executed
+	StageI         time.Duration // spider mining time
+	StageII        time.Duration // growth + merge time
+	StageIII       time.Duration // recovery time
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("stats{spiders=%d M=%d iters=%d merges=%d isoSkip=%d isoRun=%d tI=%v tII=%v tIII=%v}",
+		s.NumSpiders, s.M, s.GrowIterations, s.Merges, s.IsoSkipped, s.IsoRun, s.StageI, s.StageII, s.StageIII)
+}
+
+// Result is the output of a mining run.
+type Result struct {
+	// Patterns holds up to K patterns sorted by size (edge count)
+	// descending, structurally distinct, each with |E[P]| >= σ and
+	// diam <= Dmax.
+	Patterns []*pattern.Pattern
+	Stats    Stats
+}
+
+// Miner carries the mining state for one host graph.
+type Miner struct {
+	g      *graph.Graph
+	cfg    Config
+	rng    *rand.Rand
+	stats  Stats
+	nextID int
+	// supFn maps a pattern graph and embedding list to its σ-comparable
+	// support. The single-graph setting applies cfg.Measure; the
+	// transaction adapter counts distinct transaction graphs.
+	supFn func(*graph.Graph, []pattern.Embedding) int
+	// freqPair reports whether (head label, leaf label) is a frequent
+	// spider edge, the unit of growth.
+	freqPair map[[2]graph.Label]bool
+	catalog  *spider.Catalog
+	// trees holds the r-spider seed population when cfg.Radius >= 2.
+	trees []*spider.MinedTree
+}
+
+// New prepares a Miner for the host graph.
+func New(g *graph.Graph, cfg Config) *Miner {
+	cfg = cfg.withDefaults(g)
+	m := &Miner{
+		g:   g,
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.Measure == support.CountAll {
+		m.supFn = func(_ *graph.Graph, embs []pattern.Embedding) int { return len(embs) }
+	} else {
+		m.supFn = func(pg *graph.Graph, embs []pattern.Embedding) int {
+			return support.Of(pg, embs, cfg.Measure)
+		}
+	}
+	return m
+}
+
+// Mine runs the full three-stage algorithm and returns the top-K result.
+func Mine(g *graph.Graph, cfg Config) *Result {
+	return New(g, cfg).Run()
+}
+
+// Run executes Algorithm 1.
+func (m *Miner) Run() *Result {
+	// Stage I: mine all r-spiders. Stars always back the growth procedure
+	// (growth proceeds in radius-1 steps); with Radius >= 2, tree spiders
+	// are additionally mined as the seed population — at exponentially
+	// higher Stage I cost, as Appendix C(3) documents.
+	t0 := time.Now()
+	stars := spider.MineStars(m.g, spider.Options{
+		MinSupport: m.cfg.MinSupport,
+		MaxLeaves:  m.cfg.MaxLeavesPerStar,
+		Radius:     1,
+		MaxSpiders: m.cfg.MaxSpiders,
+		Workers:    m.cfg.Workers,
+	})
+	m.catalog = spider.NewCatalog(stars)
+	m.freqPair = make(map[[2]graph.Label]bool)
+	for _, ms := range stars {
+		if len(ms.Star.Leaves) == 1 {
+			m.freqPair[[2]graph.Label{ms.Star.Head, ms.Star.Leaves[0]}] = true
+		}
+	}
+	m.stats.NumSpiders = len(stars)
+	if m.cfg.Radius >= 2 {
+		maxSpiders := m.cfg.MaxSpiders
+		if maxSpiders <= 0 {
+			maxSpiders = 1 << 20
+		}
+		m.trees = spider.MineTrees(m.g, spider.TreeOptions{
+			MinSupport: m.cfg.MinSupport,
+			Radius:     m.cfg.Radius,
+			MaxFanout:  4,
+			MaxSpiders: maxSpiders,
+		})
+		m.stats.NumSpiders = len(m.trees)
+	}
+	m.stats.StageI = time.Since(t0)
+
+	// M from Lemma 2 (or override).
+	M := m.cfg.MOverride
+	if M <= 0 {
+		M = spider.ComputeM(m.g.N(), m.cfg.Vmin, m.cfg.K, m.cfg.Epsilon)
+	}
+	m.stats.M = M
+
+	var finals []*pattern.Pattern
+	for restart := 0; restart < m.cfg.Restarts; restart++ {
+		finals = append(finals, m.runOnce(M)...)
+	}
+	top := m.selectTopK(finals)
+	return &Result{Patterns: top, Stats: m.stats}
+}
+
+// runOnce performs Stages II and III for one random restart.
+func (m *Miner) runOnce(M int) []*pattern.Pattern {
+	// Stage II: random seeds, ⌈Dmax/2r⌉ growth+merge iterations.
+	t1 := time.Now()
+	seeds := m.seedPatterns(M, m.trees, m.rng)
+	working := make([]*grown, 0, len(seeds))
+	for _, p := range seeds {
+		p.ID = m.newID()
+		p.DedupeEmbeddings()
+		if m.supFn(p.G, p.Emb) < m.cfg.MinSupport {
+			continue
+		}
+		working = append(working, &grown{p: p, radius: m.cfg.Radius})
+	}
+	iters := (m.cfg.Dmax + 2*m.cfg.Radius - 1) / (2 * m.cfg.Radius) // ⌈Dmax/2r⌉
+	for i := 0; i < iters; i++ {
+		m.growAll(working)
+		working = m.checkMerges(working)
+		m.stats.GrowIterations++
+	}
+	// Prune unmerged patterns (Algorithm 1 line 10).
+	var survivors []*grown
+	for _, w := range working {
+		if w.p.Merged || m.cfg.KeepUnmerged {
+			survivors = append(survivors, w)
+		}
+	}
+	if len(survivors) == 0 {
+		// No merges happened (e.g. very sparse embedding overlap). Rather
+		// than return nothing, fall back to the largest grown seeds — a
+		// practical safeguard the paper does not need on its datasets.
+		survivors = fallbackLargest(working, m.cfg.K)
+	}
+	m.stats.StageII += time.Since(t1)
+
+	// Stage III: grow to maximality.
+	t2 := time.Now()
+	for iter := 0; iter < m.cfg.MaxGrowIters; iter++ {
+		any := m.growAll(survivors)
+		survivors = m.checkMerges(survivors)
+		m.stats.GrowIterations++
+		if !any {
+			break
+		}
+	}
+	m.stats.StageIII += time.Since(t2)
+
+	out := make([]*pattern.Pattern, 0, len(survivors))
+	for _, w := range survivors {
+		out = append(out, w.p)
+	}
+	return out
+}
+
+// grown pairs a pattern with its current growth radius from its origin.
+type grown struct {
+	p      *pattern.Pattern
+	radius int
+	done   bool // no further frequent extension exists
+}
+
+func (m *Miner) newID() int {
+	m.nextID++
+	return m.nextID
+}
+
+func fallbackLargest(ws []*grown, k int) []*grown {
+	sorted := append([]*grown(nil), ws...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].p.Size() > sorted[j].p.Size() })
+	if len(sorted) > k {
+		sorted = sorted[:k]
+	}
+	return sorted
+}
+
+// selectTopK dedupes structurally equal patterns, filters σ and Dmax, and
+// returns the K largest by edge count (ties: more vertices, then higher
+// support, then stable by ID).
+func (m *Miner) selectTopK(ps []*pattern.Pattern) []*pattern.Pattern {
+	var kept []*pattern.Pattern
+	for _, p := range ps {
+		if m.supFn(p.G, p.Emb) < m.cfg.MinSupport {
+			continue
+		}
+		if p.G.Diameter() > m.cfg.Dmax {
+			continue
+		}
+		dup := false
+		for _, q := range kept {
+			if m.sameStructure(p, q) {
+				dup = true
+				// Keep the one with more embeddings.
+				if len(p.Emb) > len(q.Emb) {
+					*q = *p
+				}
+				break
+			}
+		}
+		if !dup {
+			kept = append(kept, p)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Size() != b.Size() {
+			return a.Size() > b.Size()
+		}
+		if a.NV() != b.NV() {
+			return a.NV() > b.NV()
+		}
+		if len(a.Emb) != len(b.Emb) {
+			return len(a.Emb) > len(b.Emb)
+		}
+		return a.ID < b.ID
+	})
+	if len(kept) > m.cfg.K {
+		kept = kept[:m.cfg.K]
+	}
+	return kept
+}
+
+// sameStructure decides pattern identity the way §4.2.2 prescribes: the
+// spider-set signature is the cheap necessary condition (Theorem 2), and
+// only signature-equal pairs pay for an exact isomorphism test. With the
+// pruning disabled (ablation), every size-compatible pair goes straight to
+// the exact test, so Stats.IsoRun exposes the pruning's value.
+func (m *Miner) sameStructure(a, b *pattern.Pattern) bool {
+	if a.G.N() != b.G.N() || a.G.M() != b.G.M() {
+		return false
+	}
+	if !m.cfg.DisableSpiderSetPruning {
+		if a.SpiderSetSignature(m.cfg.Radius) != b.SpiderSetSignature(m.cfg.Radius) {
+			m.stats.IsoSkipped++
+			return false
+		}
+	}
+	m.stats.IsoRun++
+	return isoCheck(a, b)
+}

@@ -1,0 +1,255 @@
+package spidermine
+
+import (
+	"testing"
+
+	"repro/internal/canon"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/support"
+	"repro/internal/txdb"
+)
+
+func gid1() (*graph.Graph, []*graph.Graph) {
+	return gen.Synthetic(gen.GIDConfig(1, 42))
+}
+
+func TestResultInvariants(t *testing.T) {
+	g, _ := gid1()
+	cfg := Config{MinSupport: 2, K: 10, Dmax: 4, Seed: 7}
+	res := Mine(g, cfg)
+	if len(res.Patterns) == 0 {
+		t.Fatal("no patterns")
+	}
+	if len(res.Patterns) > cfg.K {
+		t.Fatalf("more than K patterns: %d", len(res.Patterns))
+	}
+	for i, p := range res.Patterns {
+		// sorted by size descending
+		if i > 0 && p.Size() > res.Patterns[i-1].Size() {
+			t.Fatal("patterns not size-sorted")
+		}
+		// diameter bound
+		if d := p.G.Diameter(); d > cfg.Dmax {
+			t.Fatalf("pattern %d diameter %d > Dmax", i, d)
+		}
+		// support
+		if len(p.Emb) < cfg.MinSupport {
+			t.Fatalf("pattern %d support %d < σ", i, len(p.Emb))
+		}
+		// connected
+		if !p.G.IsConnected() {
+			t.Fatalf("pattern %d disconnected", i)
+		}
+		// structural distinctness
+		for j := 0; j < i; j++ {
+			if p.G.N() == res.Patterns[j].G.N() && p.G.M() == res.Patterns[j].G.M() &&
+				canon.Isomorphic(p.G, res.Patterns[j].G) {
+				t.Fatalf("patterns %d and %d are isomorphic", i, j)
+			}
+		}
+	}
+}
+
+func TestEmbeddingsAreRealSubgraphs(t *testing.T) {
+	g, _ := gid1()
+	res := Mine(g, Config{MinSupport: 2, K: 5, Dmax: 4, Seed: 7})
+	for pi, p := range res.Patterns {
+		for ei, e := range p.Emb {
+			if len(e) != p.NV() {
+				t.Fatalf("pattern %d emb %d: length %d != %d", pi, ei, len(e), p.NV())
+			}
+			for v := 0; v < p.NV(); v++ {
+				if g.Label(e[v]) != p.G.Label(graph.V(v)) {
+					t.Fatalf("pattern %d emb %d: label mismatch at %d", pi, ei, v)
+				}
+			}
+			for _, pe := range p.G.Edges() {
+				if !g.HasEdge(e[pe.U], e[pe.W]) {
+					t.Fatalf("pattern %d emb %d: host edge missing for %v", pi, ei, pe)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterminismPerSeed(t *testing.T) {
+	g, _ := gid1()
+	cfg := Config{MinSupport: 2, K: 10, Dmax: 4, Seed: 13}
+	a := Mine(g, cfg)
+	b := Mine(g, cfg)
+	if len(a.Patterns) != len(b.Patterns) {
+		t.Fatalf("nondeterministic: %d vs %d patterns", len(a.Patterns), len(b.Patterns))
+	}
+	for i := range a.Patterns {
+		if a.Patterns[i].Size() != b.Patterns[i].Size() ||
+			len(a.Patterns[i].Emb) != len(b.Patterns[i].Emb) {
+			t.Fatalf("pattern %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestRecoversInjectedPatterns(t *testing.T) {
+	// The headline claim (Figures 4-8): SpiderMine recovers the large
+	// injected patterns. At least one top pattern must be >= 25 vertices
+	// (injected: 30).
+	g, _ := gid1()
+	res := Mine(g, Config{MinSupport: 2, K: 10, Dmax: 4, Seed: 7})
+	if len(res.Patterns) == 0 || res.Patterns[0].NV() < 25 {
+		got := 0
+		if len(res.Patterns) > 0 {
+			got = res.Patterns[0].NV()
+		}
+		t.Fatalf("largest pattern %d vertices, want >= 25", got)
+	}
+}
+
+func TestMOverride(t *testing.T) {
+	g, _ := gid1()
+	res := Mine(g, Config{MinSupport: 2, K: 5, Dmax: 4, Seed: 7, MOverride: 10})
+	if res.Stats.M != 10 {
+		t.Fatalf("M=%d, want override 10", res.Stats.M)
+	}
+}
+
+func TestRestartsAccumulate(t *testing.T) {
+	g, _ := gid1()
+	r1 := Mine(g, Config{MinSupport: 2, K: 10, Dmax: 4, Seed: 7, Restarts: 1})
+	r3 := Mine(g, Config{MinSupport: 2, K: 10, Dmax: 4, Seed: 7, Restarts: 3})
+	if len(r3.Patterns) < len(r1.Patterns) {
+		t.Fatalf("restarts lost patterns: %d vs %d", len(r3.Patterns), len(r1.Patterns))
+	}
+}
+
+func TestSpiderSetPruningAblation(t *testing.T) {
+	g, _ := gid1()
+	on := Mine(g, Config{MinSupport: 2, K: 10, Dmax: 4, Seed: 7})
+	off := Mine(g, Config{MinSupport: 2, K: 10, Dmax: 4, Seed: 7, DisableSpiderSetPruning: true})
+	// Same final answer.
+	if len(on.Patterns) != len(off.Patterns) {
+		t.Fatalf("ablation changed result count: %d vs %d", len(on.Patterns), len(off.Patterns))
+	}
+	for i := range on.Patterns {
+		if on.Patterns[i].Size() != off.Patterns[i].Size() {
+			t.Fatal("ablation changed results")
+		}
+	}
+	if off.Stats.IsoSkipped != 0 {
+		t.Fatal("disabled pruning still skipped tests")
+	}
+}
+
+func TestKeepUnmergedAblation(t *testing.T) {
+	g, _ := gid1()
+	res := Mine(g, Config{MinSupport: 2, K: 10, Dmax: 4, Seed: 7, KeepUnmerged: true})
+	if len(res.Patterns) == 0 {
+		t.Fatal("keep-unmerged returned nothing")
+	}
+}
+
+func TestHarmfulOverlapMeasureRuns(t *testing.T) {
+	g, _ := gid1()
+	res := Mine(g, Config{MinSupport: 2, K: 5, Dmax: 4, Seed: 7, Measure: support.HarmfulOverlap})
+	for _, p := range res.Patterns {
+		if support.OfPattern(p, support.HarmfulOverlap) < 2 {
+			t.Fatal("measure not honored in output")
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	g := graph.FromEdges([]graph.Label{0, 0}, []graph.Edge{{U: 0, W: 1}})
+	cfg := Config{}.withDefaults(g)
+	if cfg.MinSupport != 2 || cfg.K != 10 || cfg.Dmax != 4 || cfg.Radius != 1 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+	if cfg.Vmin != 1 {
+		t.Fatalf("Vmin default %d", cfg.Vmin)
+	}
+}
+
+func TestTinyGraphNoPanics(t *testing.T) {
+	g := graph.FromEdges([]graph.Label{0, 0, 0}, []graph.Edge{{U: 0, W: 1}, {U: 1, W: 2}})
+	res := Mine(g, Config{MinSupport: 2, K: 3, Dmax: 2, Seed: 1})
+	_ = res // empty or not, must terminate cleanly
+}
+
+func TestEmptyGraph(t *testing.T) {
+	b := graph.NewBuilder(0, 0)
+	res := Mine(b.Build(), Config{MinSupport: 2, K: 3, Dmax: 4, Seed: 1})
+	if len(res.Patterns) != 0 {
+		t.Fatal("patterns from empty graph")
+	}
+}
+
+func TestTransactionSetting(t *testing.T) {
+	db, larges := txdb.SyntheticTx(txdb.SyntheticTxConfig{
+		NumGraphs: 8, N: 150, AvgDeg: 4, NumLabels: 50,
+		Large: gen.InjectSpec{NV: 16, Count: 2, Support: 1},
+		Seed:  21,
+	})
+	res := MineTransactions(db, Config{MinSupport: 6, K: 5, Dmax: 6, Seed: 21})
+	if len(res.Patterns) == 0 {
+		t.Fatal("transaction mining returned nothing")
+	}
+	// Transaction support must hold: every returned pattern occurs in >= 6
+	// distinct graphs.
+	_, txOf := db.Union()
+	for _, p := range res.Patterns {
+		if got := support.TransactionSupport(p.Emb, txOf); got < 6 {
+			t.Fatalf("transaction support %d < 6", got)
+		}
+	}
+	// Should find a substantial chunk of the injected 16-vertex patterns.
+	if res.Patterns[0].NV() < 8 {
+		t.Fatalf("largest tx pattern only %d vertices", res.Patterns[0].NV())
+	}
+	_ = larges
+}
+
+func TestStatsPopulated(t *testing.T) {
+	g, _ := gid1()
+	res := Mine(g, Config{MinSupport: 2, K: 5, Dmax: 4, Seed: 7})
+	s := res.Stats
+	if s.NumSpiders == 0 || s.M == 0 || s.GrowIterations == 0 {
+		t.Fatalf("stats not populated: %v", s)
+	}
+	if s.StageI <= 0 || s.StageII <= 0 {
+		t.Fatalf("stage timings missing: %v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("stats stringer empty")
+	}
+}
+
+func TestParallelGrowthIdenticalResults(t *testing.T) {
+	g, _ := gid1()
+	seq := Mine(g, Config{MinSupport: 2, K: 10, Dmax: 4, Seed: 7})
+	par := Mine(g, Config{MinSupport: 2, K: 10, Dmax: 4, Seed: 7, Workers: -1})
+	if len(seq.Patterns) != len(par.Patterns) {
+		t.Fatalf("parallel run differs: %d vs %d patterns", len(seq.Patterns), len(par.Patterns))
+	}
+	for i := range seq.Patterns {
+		if seq.Patterns[i].Size() != par.Patterns[i].Size() ||
+			seq.Patterns[i].NV() != par.Patterns[i].NV() ||
+			len(seq.Patterns[i].Emb) != len(par.Patterns[i].Emb) {
+			t.Fatalf("pattern %d differs between sequential and parallel runs", i)
+		}
+	}
+}
+
+func TestRadius2Seeds(t *testing.T) {
+	// Radius-2 seeds: mining should still recover large patterns on GID 1
+	// (more Stage I cost, same answer quality — Appendix C(3)).
+	g, _ := gid1()
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res := Mine(g, Config{MinSupport: 2, K: 5, Dmax: 4, Seed: 7, Radius: 2, MaxSpiders: 6000})
+	if len(res.Patterns) == 0 {
+		t.Fatal("radius-2 mining returned nothing")
+	}
+	if res.Patterns[0].NV() < 10 {
+		t.Fatalf("radius-2 largest pattern only %d vertices", res.Patterns[0].NV())
+	}
+}

@@ -1,0 +1,50 @@
+package spidermine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// growAllParallel runs one SpiderGrow iteration over the working set with
+// a bounded worker pool. Each pattern is grown independently — growPattern
+// only mutates its own *grown and reads shared immutable state (host
+// graph, frequent-pair table) — so the result is identical to the
+// sequential pass regardless of scheduling.
+func (m *Miner) growAllParallel(ws []*grown, workers int) bool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(ws) {
+		workers = len(ws)
+	}
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		any bool
+	)
+	work := make(chan *grown, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for w := range work {
+				if m.growPattern(w) {
+					mu.Lock()
+					any = true
+					mu.Unlock()
+				} else {
+					w.done = true
+				}
+			}
+		}()
+	}
+	for _, w := range ws {
+		if w.done {
+			continue
+		}
+		work <- w
+	}
+	close(work)
+	wg.Wait()
+	return any
+}

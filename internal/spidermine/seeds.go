@@ -1,0 +1,59 @@
+package spidermine
+
+import (
+	"math/rand"
+
+	"repro/internal/canon"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/spider"
+)
+
+// seedPatterns draws M seed patterns according to the configured spider
+// radius: r=1 seeds come from the star catalog; r>=2 seeds are tree
+// spiders materialized by anchored subgraph matching. In both cases growth
+// afterwards proceeds in radius-1 steps (SpiderGrow with r=1 stars), so
+// the radius only affects Stage I cost and seed shape — mirroring the
+// paper's finding that r=1 or 2 is the right trade-off (Appendix C(3)).
+func (m *Miner) seedPatterns(M int, trees []*spider.MinedTree, rng *rand.Rand) []*pattern.Pattern {
+	if m.cfg.Radius <= 1 || len(trees) == 0 {
+		return spider.RandomSeed(m.g, m.catalog, M, m.cfg.PerHostCap, rng)
+	}
+	if M > len(trees) {
+		M = len(trees)
+	}
+	idx := rng.Perm(len(trees))[:M]
+	out := make([]*pattern.Pattern, 0, M)
+	for _, ti := range idx {
+		if p := materializeTree(m.g, trees[ti], m.cfg.PerHostCap); p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// materializeTree turns a mined tree spider into a Pattern by enumerating,
+// per hosting head, up to perHostCap anchored embeddings.
+func materializeTree(g *graph.Graph, mt *spider.MinedTree, perHostCap int) *pattern.Pattern {
+	if perHostCap <= 0 {
+		perHostCap = spider.DefaultPerHostCap
+	}
+	pg := mt.Tree.Graph()
+	var embs []pattern.Embedding
+	for _, head := range mt.Hosts {
+		canon.EnumerateEmbeddings(pg, g, canon.MatchOptions{
+			Limit:          perHostCap,
+			Anchor:         head,
+			DistinctImages: true,
+		}, func(mm canon.Mapping) bool {
+			embs = append(embs, pattern.Embedding(mm))
+			return true
+		})
+	}
+	if len(embs) == 0 {
+		return nil
+	}
+	p := pattern.New(pg, embs)
+	p.Origin = 0
+	return p
+}

@@ -1,0 +1,45 @@
+package support
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+func benchEmbeddings(n int, hostRange int, seed int64) (*graph.Graph, []pattern.Embedding) {
+	pg := graph.FromEdges([]graph.Label{0, 0, 1},
+		[]graph.Edge{{U: 0, W: 1}, {U: 1, W: 2}})
+	rng := rand.New(rand.NewSource(seed))
+	var embs []pattern.Embedding
+	for i := 0; i < n; i++ {
+		p := rng.Perm(hostRange)[:3]
+		embs = append(embs, pattern.Embedding{graph.V(p[0]), graph.V(p[1]), graph.V(p[2])})
+	}
+	return pg, embs
+}
+
+func BenchmarkEdgeDisjoint(b *testing.B) {
+	pg, embs := benchEmbeddings(500, 300, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Of(pg, embs, EdgeDisjoint)
+	}
+}
+
+func BenchmarkHarmfulOverlap(b *testing.B) {
+	pg, embs := benchEmbeddings(500, 300, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Of(pg, embs, HarmfulOverlap)
+	}
+}
+
+func BenchmarkVertexDisjoint(b *testing.B) {
+	pg, embs := benchEmbeddings(500, 300, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Of(pg, embs, VertexDisjoint)
+	}
+}
