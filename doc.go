@@ -9,4 +9,35 @@
 // and per-experiment index, and EXPERIMENTS.md for paper-vs-measured
 // results. The root package contains only the benchmark harness
 // (bench_test.go); the implementation lives under internal/.
+//
+// # Performance architecture
+//
+// The hot path of every stage bottoms out in the graph substrate and the
+// subgraph matcher, which are engineered as an indexed, allocation-free
+// embedding engine:
+//
+//   - internal/graph stores adjacency in CSR form — one flat []V neighbor
+//     array, per-vertex sorted, indexed by an []int32 offsets table — so
+//     neighbor scans are contiguous and HasEdge is a branch-light binary
+//     search. Builder.Build sorts and dedupes the edge list in a single
+//     pass and fills the CSR in two sweeps that leave each range sorted
+//     without per-vertex sorting.
+//   - Build also precomputes a per-vertex neighbor-label frequency sketch
+//     (16 four-bit saturating counters in one uint64; see
+//     graph.SketchDominates) and, lazily on first use, a label index
+//     grouping vertex ids by label (graph.VerticesWithLabel).
+//   - internal/canon's Matcher keeps all search state — partial mapping,
+//     used-host bitset, match order, distinct-image hash table, key
+//     buffers — in a reusable struct, so a warm matcher enumerates
+//     embeddings with zero heap allocation. Root candidates come from the
+//     label index (the root is the pattern vertex with the rarest host
+//     label, ties toward higher degree), and every candidate is filtered
+//     by label, degree and sketch domination before exact adjacency
+//     checks. EnumerateEmbeddingsReference retains the naive matcher as
+//     the correctness oracle; differential tests assert identical
+//     distinct-image sets.
+//   - Growth and merging (internal/spidermine) reuse pooled scratch:
+//     epoch-stamped host marks instead of per-embedding maps, hash-deduped
+//     union subgraphs, early-exit diameter checks (graph.DiameterAtMost),
+//     and pooled BFS buffers for all eccentricity work.
 package repro

@@ -60,3 +60,72 @@ func BenchmarkCountEmbeddings(b *testing.B) {
 		CountEmbeddings(pat, host, 0)
 	}
 }
+
+// BenchmarkEnumerateEmbeddings measures a warm reusable Matcher on the
+// full distinct-image enumeration — the matcher inner loop must stay at
+// 0 allocs/op.
+func BenchmarkEnumerateEmbeddings(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	host := randomGraph(200, 500, 3, rng)
+	pat := path(0, 1, 2)
+	opt := MatchOptions{Anchor: -1, DistinctImages: true}
+	var mt Matcher
+	if n := mt.Enumerate(pat, host, opt, func(Mapping) bool { return true }); n == 0 {
+		b.Fatal("no embeddings")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mt.Enumerate(pat, host, opt, func(Mapping) bool { return true })
+	}
+}
+
+// BenchmarkEnumerateEmbeddingsReference is the retained naive matcher on
+// the same workload, for before/after comparison.
+func BenchmarkEnumerateEmbeddingsReference(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	host := randomGraph(200, 500, 3, rng)
+	pat := path(0, 1, 2)
+	opt := MatchOptions{Anchor: -1, DistinctImages: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EnumerateEmbeddingsReference(pat, host, opt, func(Mapping) bool { return true })
+	}
+}
+
+// BenchmarkImageKey measures image identification for one mapping: the
+// matcher's internal 128-bit hash (0 allocs), the reusable-buffer string
+// key, and the plain ImageKey string for reference.
+func BenchmarkImageKey(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	host := randomGraph(100, 250, 3, rng)
+	pat := randomConnectedPattern(6, 3, 3, rng)
+	// Keying only reads the mapping as indices into the host, so a
+	// synthetic injective mapping exercises it fully.
+	mp := make(Mapping, pat.N())
+	for i := range mp {
+		mp[i] = graph.V(i * 7 % host.N())
+	}
+	b.Run("hash", func(b *testing.B) {
+		keyer := Matcher{p: pat, g: host, mapping: mp}
+		keyer.pEdges = appendEdges(nil, pat)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = keyer.imageHash()
+		}
+	})
+	b.Run("append", func(b *testing.B) {
+		var buf []byte
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = AppendImageKey(buf[:0], pat, mp)
+		}
+	})
+	b.Run("string", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = ImageKey(pat, mp)
+		}
+	})
+}

@@ -1,8 +1,6 @@
 package canon
 
 import (
-	"sort"
-
 	"repro/internal/graph"
 )
 
@@ -17,22 +15,37 @@ func (m Mapping) Clone() Mapping { return append(Mapping(nil), m...) }
 // mappings with equal ImageKey denote the same embedding (same subgraph of
 // the host), e.g. mappings differing only by a pattern automorphism.
 func ImageKey(p *graph.Graph, m Mapping) string {
-	edges := make([]graph.Edge, 0, p.M())
-	for _, e := range p.Edges() {
-		edges = append(edges, graph.NormEdge(m[e.U], m[e.W]))
-	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].U != edges[j].U {
-			return edges[i].U < edges[j].U
-		}
-		return edges[i].W < edges[j].W
-	})
-	buf := make([]byte, 0, len(edges)*8)
+	return string(AppendImageKey(nil, p, m))
+}
+
+// AppendImageKey appends the ImageKey bytes of mapping m to buf and
+// returns the extended buffer. Callers that look keys up with
+// map[string(buf)] and reuse buf across embeddings dedupe without
+// allocating per probe (the Go compiler elides the string conversion for
+// map reads); the Matcher itself dedupes by hash and never materializes
+// keys at all.
+func AppendImageKey(buf []byte, p *graph.Graph, m Mapping) []byte {
+	var stack [32]graph.Edge
+	edges := AppendMappedEdges(stack[:0], p, m)
+	sortEdges(edges)
 	for _, e := range edges {
 		buf = appendVarint(buf, uint64(e.U))
 		buf = appendVarint(buf, uint64(e.W))
 	}
-	return string(buf)
+	return buf
+}
+
+// AppendMappedEdges appends the host image of p's edge set under m —
+// NormEdge(m[u], m[w]) for every pattern edge {u, w} — to buf, unsorted.
+func AppendMappedEdges(buf []graph.Edge, p *graph.Graph, m Mapping) []graph.Edge {
+	for u := 0; u < p.N(); u++ {
+		for _, w := range p.Neighbors(graph.V(u)) {
+			if graph.V(u) < w {
+				buf = append(buf, graph.NormEdge(m[u], m[w]))
+			}
+		}
+	}
+	return buf
 }
 
 func appendVarint(b []byte, x uint64) []byte {
@@ -56,150 +69,25 @@ type MatchOptions struct {
 }
 
 // EnumerateEmbeddings finds mappings of the connected pattern p into host g
-// (non-induced subgraph isomorphism: every pattern edge must map to a host
-// edge; extra host edges between mapped vertices are allowed, as befits
-// "subgraph of G" embeddings). fn is called per result; returning false
-// stops the search. Returns the number of results produced.
-//
-// Disconnected patterns are rejected with a zero count: the miners only
-// ever produce connected patterns, and anchored search requires
-// connectivity.
+// using a pooled Matcher; see Matcher.Enumerate for the search semantics.
+// fn receives its own copy of each mapping (safe to retain); hot paths
+// that want the allocation-free contract should hold a Matcher and call
+// Enumerate directly.
 func EnumerateEmbeddings(p, g *graph.Graph, opt MatchOptions, fn func(Mapping) bool) int {
-	np := p.N()
-	if np == 0 {
-		return 0
-	}
-	if !p.IsConnected() {
-		return 0
-	}
-	order, parents := matchOrder(p)
-	mapping := make(Mapping, np)
-	for i := range mapping {
-		mapping[i] = -1
-	}
-	usedHost := make(map[graph.V]bool, np)
-	count := 0
-	var seen map[string]struct{}
-	if opt.DistinctImages {
-		seen = make(map[string]struct{})
-	}
-
-	var try func(depth int) bool // returns false to abort entirely
-	emit := func() bool {
-		if opt.DistinctImages {
-			k := ImageKey(p, mapping)
-			if _, dup := seen[k]; dup {
-				return true
-			}
-			seen[k] = struct{}{}
-		}
-		count++
-		if !fn(mapping.Clone()) {
-			return false
-		}
-		return opt.Limit == 0 || count < opt.Limit
-	}
-
-	try = func(depth int) bool {
-		if depth == np {
-			return emit()
-		}
-		pv := order[depth]
-		var candidates []graph.V
-		if parent := parents[depth]; parent >= 0 {
-			// Candidates are host neighbors of the parent's image.
-			candidates = g.Neighbors(mapping[order[parent]])
-		} else if opt.Anchor >= 0 && pv == 0 {
-			candidates = []graph.V{opt.Anchor}
-		} else if opt.Anchor >= 0 {
-			// Anchored search with a root other than 0: remap order so 0 is
-			// first (handled by matchOrder); reaching here means pattern
-			// vertex 0 was not the root, fall back to scanning.
-			candidates = allHosts(g)
-		} else {
-			candidates = allHosts(g)
-		}
-		for _, hv := range candidates {
-			if usedHost[hv] {
-				continue
-			}
-			if g.Label(hv) != p.Label(pv) {
-				continue
-			}
-			if g.Degree(hv) < p.Degree(pv) {
-				continue
-			}
-			ok := true
-			for _, pw := range p.Neighbors(pv) {
-				if hw := mapping[pw]; hw >= 0 && !g.HasEdge(hv, hw) {
-					ok = false
-					break
-				}
-			}
-			if !ok {
-				continue
-			}
-			mapping[pv] = hv
-			usedHost[hv] = true
-			cont := try(depth + 1)
-			mapping[pv] = -1
-			delete(usedHost, hv)
-			if !cont {
-				return false
-			}
-		}
-		return true
-	}
-	try(0)
-	return count
-}
-
-func allHosts(g *graph.Graph) []graph.V {
-	hs := make([]graph.V, g.N())
-	for i := range hs {
-		hs[i] = graph.V(i)
-	}
-	return hs
-}
-
-// matchOrder returns a connected search order over p's vertices and, for
-// each position, the index of an earlier-ordered neighbor (-1 for the
-// root). The root is vertex 0 so that MatchOptions.Anchor can pin it.
-func matchOrder(p *graph.Graph) (order []graph.V, parents []int) {
-	np := p.N()
-	order = make([]graph.V, 0, np)
-	parents = make([]int, 0, np)
-	visited := make([]bool, np)
-	pos := make([]int, np) // vertex -> position in order
-
-	root := graph.V(0)
-	order = append(order, root)
-	parents = append(parents, -1)
-	visited[root] = true
-	pos[root] = 0
-	for i := 0; i < len(order); i++ {
-		v := order[i]
-		// Expand neighbors sorted by descending pattern degree so highly
-		// constrained vertices are matched early.
-		nbrs := append([]graph.V(nil), p.Neighbors(v)...)
-		sort.Slice(nbrs, func(a, b int) bool { return p.Degree(nbrs[a]) > p.Degree(nbrs[b]) })
-		for _, w := range nbrs {
-			if !visited[w] {
-				visited[w] = true
-				pos[w] = len(order)
-				order = append(order, w)
-				parents = append(parents, i)
-			}
-		}
-	}
-	return order, parents
+	mt := matcherPool.Get().(*Matcher)
+	n := mt.Enumerate(p, g, opt, func(m Mapping) bool { return fn(m.Clone()) })
+	matcherPool.Put(mt)
+	return n
 }
 
 // CountEmbeddings returns the number of distinct embeddings (subgraph
 // images) of p in g, stopping at limit if limit > 0.
 func CountEmbeddings(p, g *graph.Graph, limit int) int {
-	return EnumerateEmbeddings(p, g, MatchOptions{Limit: limit, Anchor: -1, DistinctImages: true},
+	mt := matcherPool.Get().(*Matcher)
+	n := mt.Enumerate(p, g, MatchOptions{Limit: limit, Anchor: -1, DistinctImages: true},
 		func(Mapping) bool { return true })
+	matcherPool.Put(mt)
+	return n
 }
 
 // HasEmbedding reports whether p occurs in g at all.

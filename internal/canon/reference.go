@@ -1,0 +1,134 @@
+package canon
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// EnumerateEmbeddingsReference is the retained naive matcher: a direct
+// backtracking search that scans all host vertices for root candidates and
+// tracks used hosts in a map. It is the correctness oracle for the indexed
+// Matcher — the differential tests assert both produce exactly the same
+// distinct-image embedding sets — and is deliberately left untouched by
+// performance work. Semantics match Matcher.Enumerate except that fn
+// receives its own copy of each mapping.
+func EnumerateEmbeddingsReference(p, g *graph.Graph, opt MatchOptions, fn func(Mapping) bool) int {
+	np := p.N()
+	if np == 0 {
+		return 0
+	}
+	if !p.IsConnected() {
+		return 0
+	}
+	order, parents := referenceMatchOrder(p)
+	mapping := make(Mapping, np)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	usedHost := make(map[graph.V]bool, np)
+	count := 0
+	var seen map[string]struct{}
+	if opt.DistinctImages {
+		seen = make(map[string]struct{})
+	}
+
+	var try func(depth int) bool // returns false to abort entirely
+	emit := func() bool {
+		if opt.DistinctImages {
+			k := ImageKey(p, mapping)
+			if _, dup := seen[k]; dup {
+				return true
+			}
+			seen[k] = struct{}{}
+		}
+		count++
+		if !fn(mapping.Clone()) {
+			return false
+		}
+		return opt.Limit == 0 || count < opt.Limit
+	}
+
+	try = func(depth int) bool {
+		if depth == np {
+			return emit()
+		}
+		pv := order[depth]
+		var candidates []graph.V
+		if parent := parents[depth]; parent >= 0 {
+			candidates = g.Neighbors(mapping[order[parent]])
+		} else if opt.Anchor >= 0 {
+			if int(opt.Anchor) >= g.N() {
+				return true
+			}
+			candidates = []graph.V{opt.Anchor}
+		} else {
+			candidates = make([]graph.V, g.N())
+			for i := range candidates {
+				candidates[i] = graph.V(i)
+			}
+		}
+		for _, hv := range candidates {
+			if usedHost[hv] {
+				continue
+			}
+			if g.Label(hv) != p.Label(pv) {
+				continue
+			}
+			if g.Degree(hv) < p.Degree(pv) {
+				continue
+			}
+			ok := true
+			for _, pw := range p.Neighbors(pv) {
+				if hw := mapping[pw]; hw >= 0 && !g.HasEdge(hv, hw) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			mapping[pv] = hv
+			usedHost[hv] = true
+			cont := try(depth + 1)
+			mapping[pv] = -1
+			delete(usedHost, hv)
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+	try(0)
+	return count
+}
+
+// referenceMatchOrder returns a connected search order over p's vertices
+// and, for each position, the index of an earlier-ordered neighbor (-1 for
+// the root). The root is vertex 0 so that MatchOptions.Anchor can pin it.
+func referenceMatchOrder(p *graph.Graph) (order []graph.V, parents []int) {
+	np := p.N()
+	order = make([]graph.V, 0, np)
+	parents = make([]int, 0, np)
+	visited := make([]bool, np)
+
+	root := graph.V(0)
+	order = append(order, root)
+	parents = append(parents, -1)
+	visited[root] = true
+	for i := 0; i < len(order); i++ {
+		v := order[i]
+		// Expand neighbors sorted by descending pattern degree so highly
+		// constrained vertices are matched early.
+		nbrs := append([]graph.V(nil), p.Neighbors(v)...)
+		sort.Slice(nbrs, func(a, b int) bool { return p.Degree(nbrs[a]) > p.Degree(nbrs[b]) })
+		for _, w := range nbrs {
+			if !visited[w] {
+				visited[w] = true
+				order = append(order, w)
+				parents = append(parents, i)
+			}
+		}
+	}
+	return order, parents
+}

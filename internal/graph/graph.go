@@ -1,13 +1,21 @@
 // Package graph provides the labeled undirected graph substrate used by
 // SpiderMine and all baseline miners. Graphs are immutable once built;
 // construct them with a Builder. Vertices are dense int32 identifiers and
-// carry an integer Label. Adjacency lists are kept sorted so that edge
-// membership tests are O(log d).
+// carry an integer Label.
+//
+// Adjacency is stored in CSR (compressed sparse row) form: one flat,
+// per-vertex-sorted neighbor array indexed by an offsets table. This keeps
+// the whole structure in three contiguous allocations, makes neighbor
+// iteration cache-friendly, and keeps edge membership tests O(log d).
+// Build additionally precomputes a label index (vertices grouped by label,
+// see labelindex.go) and a per-vertex neighbor-label frequency sketch used
+// by the subgraph matcher to prune candidates.
 package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 )
 
 // V is a vertex identifier. Vertices of a graph with n vertices are
@@ -34,14 +42,27 @@ func NormEdge(u, w V) Edge {
 	return Edge{u, w}
 }
 
-// Graph is an immutable vertex-labeled undirected simple graph.
+// Graph is an immutable vertex-labeled undirected simple graph in CSR
+// layout.
 //
 // The zero value is the empty graph. Use a Builder to construct non-empty
 // graphs.
 type Graph struct {
 	labels []Label
-	adj    [][]V
+	offs   []int32 // len N()+1; neighbor range of v is nbrs[offs[v]:offs[v+1]]
+	nbrs   []V     // flat neighbor array, sorted within each vertex's range
 	m      int
+
+	// Label index, built lazily on first use (see labelindex.go): small
+	// pattern and union-subgraph graphs are constructed constantly during
+	// growth and most never serve as match hosts, so Build skips the
+	// grouping work. Sketches are built eagerly — the matcher consults
+	// them on both the pattern and the host side.
+	labelOnce  sync.Once
+	numLabels  int
+	labelVerts []V           // vertices grouped by label, each group sorted
+	byLabel    map[Label][]V // label -> subslice of labelVerts
+	sketches   []uint64      // per-vertex neighbor-label frequency sketch
 }
 
 // N returns the number of vertices.
@@ -58,31 +79,42 @@ func (g *Graph) Label(v V) Label { return g.labels[v] }
 func (g *Graph) Labels() []Label { return g.labels }
 
 // Degree returns the number of neighbors of v.
-func (g *Graph) Degree(v V) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v V) int { return int(g.offs[v+1] - g.offs[v]) }
 
 // Neighbors returns the sorted neighbor list of v. The returned slice is
 // shared with the graph and must not be modified.
-func (g *Graph) Neighbors(v V) []V { return g.adj[v] }
+func (g *Graph) Neighbors(v V) []V { return g.nbrs[g.offs[v]:g.offs[v+1]] }
 
 // HasEdge reports whether the undirected edge {u, w} exists.
 func (g *Graph) HasEdge(u, w V) bool {
-	if int(u) >= len(g.adj) || int(w) >= len(g.adj) || u < 0 || w < 0 {
+	n := V(len(g.labels))
+	if u >= n || w >= n || u < 0 || w < 0 {
 		return false
 	}
-	a := g.adj[u]
-	if len(g.adj[w]) < len(a) {
-		a = g.adj[w]
+	lo, hi := g.offs[u], g.offs[u+1]
+	if d := g.offs[w+1] - g.offs[w]; d < hi-lo {
+		lo, hi = g.offs[w], g.offs[w+1]
 		u, w = w, u
 	}
-	i := sort.Search(len(a), func(i int) bool { return a[i] >= w })
+	a := g.nbrs[lo:hi]
+	// Hand-rolled binary search: this is the innermost loop of the matcher.
+	i, j := 0, len(a)
+	for i < j {
+		h := int(uint(i+j) >> 1)
+		if a[h] < w {
+			i = h + 1
+		} else {
+			j = h
+		}
+	}
 	return i < len(a) && a[i] == w
 }
 
 // Edges returns all edges with U < W, sorted lexicographically.
 func (g *Graph) Edges() []Edge {
 	out := make([]Edge, 0, g.m)
-	for u := range g.adj {
-		for _, w := range g.adj[u] {
+	for u := 0; u < len(g.labels); u++ {
+		for _, w := range g.Neighbors(V(u)) {
 			if V(u) < w {
 				out = append(out, Edge{V(u), w})
 			}
@@ -94,8 +126,8 @@ func (g *Graph) Edges() []Edge {
 // MaxDegree returns the maximum vertex degree, or 0 for the empty graph.
 func (g *Graph) MaxDegree() int {
 	max := 0
-	for v := range g.adj {
-		if d := len(g.adj[v]); d > max {
+	for v := 0; v < len(g.labels); v++ {
+		if d := g.Degree(V(v)); d > max {
 			max = d
 		}
 	}
@@ -112,12 +144,10 @@ func (g *Graph) AvgDegree() float64 {
 }
 
 // NumLabels returns the number of distinct labels present in the graph.
+// The count is memoized with the label index.
 func (g *Graph) NumLabels() int {
-	seen := make(map[Label]struct{})
-	for _, l := range g.labels {
-		seen[l] = struct{}{}
-	}
-	return len(seen)
+	g.ensureLabelIndex()
+	return g.numLabels
 }
 
 // String returns a short human-readable summary such as
@@ -126,15 +156,16 @@ func (g *Graph) String() string {
 	return fmt.Sprintf("graph{n=%d m=%d labels=%d}", g.N(), g.M(), g.NumLabels())
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph. The clone's label index is
+// rebuilt lazily on first use.
 func (g *Graph) Clone() *Graph {
-	labels := make([]Label, len(g.labels))
-	copy(labels, g.labels)
-	adj := make([][]V, len(g.adj))
-	for i, a := range g.adj {
-		adj[i] = append([]V(nil), a...)
+	return &Graph{
+		labels:   append([]Label(nil), g.labels...),
+		offs:     append([]int32(nil), g.offs...),
+		nbrs:     append([]V(nil), g.nbrs...),
+		m:        g.m,
+		sketches: append([]uint64(nil), g.sketches...),
 	}
-	return &Graph{labels: labels, adj: adj, m: g.m}
 }
 
 // Builder constructs graphs incrementally. It tolerates duplicate and
@@ -143,6 +174,9 @@ func (g *Graph) Clone() *Graph {
 type Builder struct {
 	labels []Label
 	edges  []Edge
+	// seen is a lazily-built edge set backing HasEdge; nil until the first
+	// HasEdge call.
+	seen map[Edge]struct{}
 }
 
 // NewBuilder returns a Builder with capacity hints for n vertices and m
@@ -183,34 +217,37 @@ func (b *Builder) AddEdge(u, w V) {
 	if int(u) >= len(b.labels) || int(w) >= len(b.labels) || u < 0 || w < 0 {
 		panic(fmt.Sprintf("graph: AddEdge(%d, %d) with only %d vertices", u, w, len(b.labels)))
 	}
-	b.edges = append(b.edges, NormEdge(u, w))
+	e := NormEdge(u, w)
+	b.edges = append(b.edges, e)
+	if b.seen != nil {
+		b.seen[e] = struct{}{}
+	}
 }
 
-// HasEdge reports whether the edge has been recorded already. It is O(E)
-// and intended for tests and small builders; generators that need fast
-// duplicate checks should keep their own set.
+// HasEdge reports whether the edge has been recorded already. The first
+// call builds a hash set over the recorded edges; subsequent calls (and
+// AddEdge) maintain it, so the amortized cost is O(1) per query.
 func (b *Builder) HasEdge(u, w V) bool {
-	e := NormEdge(u, w)
-	for _, f := range b.edges {
-		if f == e {
-			return true
+	if b.seen == nil {
+		b.seen = make(map[Edge]struct{}, len(b.edges))
+		for _, e := range b.edges {
+			b.seen[e] = struct{}{}
 		}
 	}
-	return false
+	_, ok := b.seen[NormEdge(u, w)]
+	return ok
 }
 
-// Build finalizes the graph: adjacency is sorted, self-loops and duplicate
-// edges are removed.
+// Build finalizes the graph: the edge list is sorted and deduplicated in a
+// single pass (self-loops dropped), adjacency is laid out in CSR form, and
+// the label index and neighbor-label sketches are precomputed.
 func (b *Builder) Build() *Graph {
 	n := len(b.labels)
-	sort.Slice(b.edges, func(i, j int) bool {
-		if b.edges[i].U != b.edges[j].U {
-			return b.edges[i].U < b.edges[j].U
-		}
-		return b.edges[i].W < b.edges[j].W
-	})
-	deg := make([]int, n)
-	m := 0
+	slices.SortFunc(b.edges, cmpEdge)
+	// Single dedupe pass, compacting in place (the builder is typically
+	// discarded after Build, and AddEdge order is already destroyed by the
+	// sort).
+	dedup := b.edges[:0]
 	var prev Edge
 	first := true
 	for _, e := range b.edges {
@@ -222,34 +259,49 @@ func (b *Builder) Build() *Graph {
 		}
 		first = false
 		prev = e
-		deg[e.U]++
-		deg[e.W]++
-		m++
+		dedup = append(dedup, e)
 	}
-	adj := make([][]V, n)
-	for v := 0; v < n; v++ {
-		adj[v] = make([]V, 0, deg[v])
-	}
-	var last Edge
-	haveLast := false
-	for _, e := range b.edges {
-		if e.U == e.W {
-			continue
-		}
-		if haveLast && e == last {
-			continue
-		}
-		haveLast = true
-		last = e
-		adj[e.U] = append(adj[e.U], e.W)
-		adj[e.W] = append(adj[e.W], e.U)
+	b.edges = dedup
+	b.seen = nil // edge list mutated; invalidate the HasEdge set
+	m := len(dedup)
+
+	// CSR: count degrees, prefix-sum into offsets, then fill. Filling the
+	// lower endpoints first and the upper endpoints second leaves every
+	// vertex's range sorted, because dedup is sorted by (U, W) and U < W:
+	// pass 1 appends neighbors smaller than v in ascending U order, pass 2
+	// appends neighbors greater than v in ascending W order.
+	offs := make([]int32, n+1)
+	for _, e := range dedup {
+		offs[e.U+1]++
+		offs[e.W+1]++
 	}
 	for v := 0; v < n; v++ {
-		sort.Slice(adj[v], func(i, j int) bool { return adj[v][i] < adj[v][j] })
+		offs[v+1] += offs[v]
 	}
+	nbrs := make([]V, 2*m)
+	cursor := make([]int32, n)
+	copy(cursor, offs[:n])
+	for _, e := range dedup {
+		nbrs[cursor[e.W]] = e.U
+		cursor[e.W]++
+	}
+	for _, e := range dedup {
+		nbrs[cursor[e.U]] = e.W
+		cursor[e.U]++
+	}
+
 	labels := make([]Label, n)
 	copy(labels, b.labels)
-	return &Graph{labels: labels, adj: adj, m: m}
+	g := &Graph{labels: labels, offs: offs, nbrs: nbrs, m: m}
+	g.sketches = make([]uint64, n)
+	for v := 0; v < n; v++ {
+		var sk uint64
+		for _, w := range g.Neighbors(V(v)) {
+			sk = sketchAdd(sk, labels[w])
+		}
+		g.sketches[v] = sk
+	}
+	return g
 }
 
 // FromEdges builds a graph directly from a label slice and an edge list.

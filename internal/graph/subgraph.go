@@ -1,6 +1,6 @@
 package graph
 
-import "sort"
+import "slices"
 
 // Induced returns the subgraph of g induced by the given vertices, plus the
 // mapping from new vertex ids to original ids. Duplicate vertices in the
@@ -8,16 +8,8 @@ import "sort"
 // the operation is deterministic.
 func (g *Graph) Induced(vertices []V) (*Graph, []V) {
 	uniq := append([]V(nil), vertices...)
-	sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
-	out := uniq[:0]
-	var prev V = -1
-	for _, v := range uniq {
-		if v != prev {
-			out = append(out, v)
-			prev = v
-		}
-	}
-	uniq = out
+	slices.Sort(uniq)
+	uniq = slices.Compact(uniq)
 
 	index := make(map[V]V, len(uniq))
 	for i, v := range uniq {
@@ -28,7 +20,7 @@ func (g *Graph) Induced(vertices []V) (*Graph, []V) {
 		b.AddVertex(g.Label(v))
 	}
 	for _, v := range uniq {
-		for _, w := range g.adj[v] {
+		for _, w := range g.Neighbors(v) {
 			if v < w {
 				if j, ok := index[w]; ok {
 					b.AddEdge(index[v], j)
@@ -43,26 +35,20 @@ func (g *Graph) Induced(vertices []V) (*Graph, []V) {
 // edges (in original vertex ids) and their endpoints. Returns the subgraph
 // and the new→original vertex mapping.
 func (g *Graph) SubgraphOfEdges(edges []Edge) (*Graph, []V) {
-	seen := make(map[V]struct{})
+	verts := make([]V, 0, 2*len(edges))
 	for _, e := range edges {
-		seen[e.U] = struct{}{}
-		seen[e.W] = struct{}{}
+		verts = append(verts, e.U, e.W)
 	}
-	verts := make([]V, 0, len(seen))
-	for v := range seen {
-		verts = append(verts, v)
-	}
-	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
-	index := make(map[V]V, len(verts))
-	for i, v := range verts {
-		index[v] = V(i)
-	}
+	slices.Sort(verts)
+	verts = slices.Compact(verts)
 	b := NewBuilder(len(verts), len(edges))
 	for _, v := range verts {
 		b.AddVertex(g.Label(v))
 	}
 	for _, e := range edges {
-		b.AddEdge(index[e.U], index[e.W])
+		u, _ := slices.BinarySearch(verts, e.U)
+		w, _ := slices.BinarySearch(verts, e.W)
+		b.AddEdge(V(u), V(w))
 	}
 	return b.Build(), verts
 }
@@ -83,27 +69,20 @@ func (g *Graph) Neighborhood(v V, r int) (*Graph, []V) {
 // the same host graph, expressed as host edges; endpoints are implied.
 // Used when merging overlapping pattern embeddings.
 func UnionEdges(a, b []Edge) []Edge {
-	seen := make(map[Edge]struct{}, len(a)+len(b))
 	out := make([]Edge, 0, len(a)+len(b))
 	for _, e := range a {
-		ne := NormEdge(e.U, e.W)
-		if _, ok := seen[ne]; !ok {
-			seen[ne] = struct{}{}
-			out = append(out, ne)
-		}
+		out = append(out, NormEdge(e.U, e.W))
 	}
 	for _, e := range b {
-		ne := NormEdge(e.U, e.W)
-		if _, ok := seen[ne]; !ok {
-			seen[ne] = struct{}{}
-			out = append(out, ne)
-		}
+		out = append(out, NormEdge(e.U, e.W))
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].U != out[j].U {
-			return out[i].U < out[j].U
-		}
-		return out[i].W < out[j].W
-	})
-	return out
+	slices.SortFunc(out, cmpEdge)
+	return slices.Compact(out)
+}
+
+func cmpEdge(a, b Edge) int {
+	if a.U != b.U {
+		return int(a.U) - int(b.U)
+	}
+	return int(a.W) - int(b.W)
 }

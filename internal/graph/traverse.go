@@ -1,5 +1,51 @@
 package graph
 
+import "sync"
+
+// bfsScratch holds reusable BFS state. Eccentricity and Diameter run on
+// every boundary vertex of every growth step, so allocating dist+queue per
+// call dominated whole-pipeline profiles; a pool keeps steady-state BFS
+// allocation-free.
+type bfsScratch struct {
+	dist  []int32
+	queue []V
+}
+
+var bfsPool = sync.Pool{New: func() any { return new(bfsScratch) }}
+
+func (s *bfsScratch) reset(n int) {
+	if cap(s.dist) < n {
+		s.dist = make([]int32, n)
+		s.queue = make([]V, 0, n)
+	}
+	s.dist = s.dist[:n]
+	for i := range s.dist {
+		s.dist[i] = -1
+	}
+	s.queue = s.queue[:0]
+}
+
+// bfs runs a BFS from src into the scratch's dist array (-1 = unreached)
+// and returns the maximum distance reached.
+func (g *Graph) bfs(s *bfsScratch, src V) int32 {
+	s.reset(g.N())
+	s.dist[src] = 0
+	s.queue = append(s.queue, src)
+	var ecc int32
+	for head := 0; head < len(s.queue); head++ {
+		v := s.queue[head]
+		dv := s.dist[v]
+		for _, w := range g.nbrs[g.offs[v]:g.offs[v+1]] {
+			if s.dist[w] < 0 {
+				s.dist[w] = dv + 1
+				s.queue = append(s.queue, w)
+			}
+		}
+		ecc = dv
+	}
+	return ecc
+}
+
 // BFSFrom runs a breadth-first search from src and returns the distance of
 // every vertex from src; unreachable vertices get -1.
 func (g *Graph) BFSFrom(src V) []int {
@@ -10,18 +56,12 @@ func (g *Graph) BFSFrom(src V) []int {
 	if int(src) >= g.N() || src < 0 {
 		return dist
 	}
-	dist[src] = 0
-	queue := []V{src}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, w := range g.adj[v] {
-			if dist[w] < 0 {
-				dist[w] = dist[v] + 1
-				queue = append(queue, w)
-			}
-		}
+	s := bfsPool.Get().(*bfsScratch)
+	g.bfs(s, src)
+	for i, d := range s.dist {
+		dist[i] = int(d)
 	}
+	bfsPool.Put(s)
 	return dist
 }
 
@@ -34,7 +74,7 @@ func (g *Graph) BFSWithin(src V, r int) map[V]int {
 	for depth := 0; depth < r && len(frontier) > 0; depth++ {
 		var next []V
 		for _, v := range frontier {
-			for _, w := range g.adj[v] {
+			for _, w := range g.Neighbors(v) {
 				if _, ok := dist[w]; !ok {
 					dist[w] = depth + 1
 					next = append(next, w)
@@ -49,14 +89,13 @@ func (g *Graph) BFSWithin(src V, r int) map[V]int {
 // Eccentricity returns the maximum shortest-path distance from v to any
 // vertex reachable from v. Returns 0 for isolated vertices.
 func (g *Graph) Eccentricity(v V) int {
-	dist := g.BFSFrom(v)
-	ecc := 0
-	for _, d := range dist {
-		if d > ecc {
-			ecc = d
-		}
+	if int(v) >= g.N() || v < 0 {
+		return 0
 	}
-	return ecc
+	s := bfsPool.Get().(*bfsScratch)
+	ecc := g.bfs(s, v)
+	bfsPool.Put(s)
+	return int(ecc)
 }
 
 // Diameter returns the diameter of the graph: the maximum eccentricity over
@@ -65,26 +104,32 @@ func (g *Graph) Eccentricity(v V) int {
 // for patterns and test graphs, not massive inputs — use
 // EffectiveDiameter for those.
 func (g *Graph) Diameter() int {
-	diam := 0
+	s := bfsPool.Get().(*bfsScratch)
+	var diam int32
 	for v := 0; v < g.N(); v++ {
-		if e := g.Eccentricity(V(v)); e > diam {
+		if e := g.bfs(s, V(v)); e > diam {
 			diam = e
 		}
 	}
-	return diam
+	bfsPool.Put(s)
+	return int(diam)
 }
 
 // RadiusFrom reports whether every vertex of the graph is within distance r
 // of v, i.e. whether the graph is "r-bounded from v" in the paper's sense.
 // Disconnected graphs are never r-bounded.
 func (g *Graph) RadiusFrom(v V, r int) bool {
-	dist := g.BFSFrom(v)
-	for _, d := range dist {
-		if d < 0 || d > r {
-			return false
-		}
+	if g.N() == 0 {
+		return true
 	}
-	return true
+	if int(v) >= g.N() || v < 0 {
+		return false
+	}
+	s := bfsPool.Get().(*bfsScratch)
+	ecc := g.bfs(s, v)
+	reached := len(s.queue)
+	bfsPool.Put(s)
+	return reached == g.N() && int(ecc) <= r
 }
 
 // EffectiveDiameter estimates the q-quantile (e.g. 0.9 for the "90th
@@ -156,7 +201,7 @@ func (g *Graph) ConnectedComponents() (comp []int, count int) {
 		for len(queue) > 0 {
 			u := queue[0]
 			queue = queue[1:]
-			for _, w := range g.adj[u] {
+			for _, w := range g.Neighbors(u) {
 				if comp[w] < 0 {
 					comp[w] = count
 					queue = append(queue, w)
@@ -171,9 +216,40 @@ func (g *Graph) ConnectedComponents() (comp []int, count int) {
 // IsConnected reports whether the graph has exactly one connected component
 // (the empty graph counts as connected).
 func (g *Graph) IsConnected() bool {
-	if g.N() == 0 {
+	n := g.N()
+	if n == 0 {
 		return true
 	}
-	_, c := g.ConnectedComponents()
-	return c == 1
+	s := bfsPool.Get().(*bfsScratch)
+	g.bfs(s, 0)
+	reached := len(s.queue)
+	bfsPool.Put(s)
+	return reached == n
+}
+
+// DiameterAtMost reports whether Diameter() <= d, but exits early: the
+// per-source eccentricity scan aborts on the first vertex exceeding d, and
+// a connected graph whose first eccentricity e satisfies 2e <= d is
+// accepted after a single BFS (all pairwise distances are at most 2e by
+// the triangle inequality). Merge and growth checks only ever need the
+// threshold comparison, never the exact diameter.
+func (g *Graph) DiameterAtMost(d int) bool {
+	n := g.N()
+	if n == 0 {
+		return true
+	}
+	s := bfsPool.Get().(*bfsScratch)
+	ok := true
+	for v := 0; v < n; v++ {
+		ecc := g.bfs(s, V(v))
+		if int(ecc) > d {
+			ok = false
+			break
+		}
+		if v == 0 && 2*int(ecc) <= d && len(s.queue) == n {
+			break
+		}
+	}
+	bfsPool.Put(s)
+	return ok
 }

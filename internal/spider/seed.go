@@ -54,15 +54,17 @@ func PSuccess(numVertices, vmin, k, m int) float64 {
 // RandomSeed draws up to m distinct spiders uniformly at random from the
 // catalog and materializes each as a seed Pattern with its embeddings in g
 // (up to perHostCap embeddings per hosting head; 0 means DefaultPerHostCap).
-// IDs are assigned 0..len-1 in draw order.
+// IDs are assigned 0..len-1 in draw order. One Materializer carries the
+// enumeration scratch across the whole draw.
 func RandomSeed(g *graph.Graph, c *Catalog, m int, perHostCap int, rng *rand.Rand) []*pattern.Pattern {
 	if m > c.Len() {
 		m = c.Len()
 	}
 	idx := rng.Perm(c.Len())[:m]
 	out := make([]*pattern.Pattern, 0, m)
+	var mat Materializer
 	for i, si := range idx {
-		p := Materialize(g, c.Stars[si], perHostCap)
+		p := mat.Materialize(g, c.Stars[si], perHostCap)
 		p.ID = i
 		out = append(out, p)
 	}
@@ -74,21 +76,44 @@ func RandomSeed(g *graph.Graph, c *Catalog, m int, perHostCap int, rng *rand.Ran
 // C(degree, leaves) otherwise).
 const DefaultPerHostCap = 8
 
+// Materializer materializes mined stars as seed Patterns, reusing the
+// per-head enumeration scratch (label groups, candidate lists, assignment
+// frames) across heads and stars. The zero value is ready to use; a
+// Materializer is not safe for concurrent use.
+type Materializer struct {
+	groups []leafGroup
+	cand   [][]graph.V
+	assign [][]graph.V
+}
+
+// leafGroup is a run of equal leaf labels with its multiplicity.
+type leafGroup struct {
+	label graph.Label
+	count int
+}
+
 // Materialize turns a mined star into a Pattern whose graph has the head
 // at vertex 0 and whose embeddings enumerate, per hosting head, up to
 // perHostCap distinct leaf assignments.
-func Materialize(g *graph.Graph, ms *MinedStar, perHostCap int) *pattern.Pattern {
+func (mz *Materializer) Materialize(g *graph.Graph, ms *MinedStar, perHostCap int) *pattern.Pattern {
 	if perHostCap <= 0 {
 		perHostCap = DefaultPerHostCap
 	}
 	pg := ms.Star.Graph()
 	var embs []pattern.Embedding
 	for _, head := range ms.Hosts {
-		embs = append(embs, starEmbeddings(g, ms.Star, head, perHostCap)...)
+		embs = append(embs, mz.starEmbeddings(g, ms.Star, head, perHostCap)...)
 	}
 	p := pattern.New(pg, embs)
 	p.Origin = 0
 	return p
+}
+
+// Materialize is the single-shot convenience form; loops should hold a
+// Materializer instead.
+func Materialize(g *graph.Graph, ms *MinedStar, perHostCap int) *pattern.Pattern {
+	var mz Materializer
+	return mz.Materialize(g, ms, perHostCap)
 }
 
 // starEmbeddings enumerates up to cap distinct leaf assignments of the star
@@ -96,23 +121,26 @@ func Materialize(g *graph.Graph, ms *MinedStar, perHostCap int) *pattern.Pattern
 // assignments are enumerated as combinations per label group (host
 // neighbors in sorted order), which both avoids duplicate subgraphs and
 // keeps enumeration deterministic.
-func starEmbeddings(g *graph.Graph, s Star, head graph.V, cap int) []pattern.Embedding {
+func (mz *Materializer) starEmbeddings(g *graph.Graph, s Star, head graph.V, cap int) []pattern.Embedding {
 	// Group leaf labels with multiplicities (Leaves is sorted).
-	type group struct {
-		label graph.Label
-		count int
-	}
-	var groups []group
+	mz.groups = mz.groups[:0]
 	for _, l := range s.Leaves {
-		if len(groups) > 0 && groups[len(groups)-1].label == l {
-			groups[len(groups)-1].count++
+		if n := len(mz.groups); n > 0 && mz.groups[n-1].label == l {
+			mz.groups[n-1].count++
 		} else {
-			groups = append(groups, group{l, 1})
+			mz.groups = append(mz.groups, leafGroup{l, 1})
 		}
 	}
-	// Candidate neighbors per group.
-	cand := make([][]graph.V, len(groups))
+	groups := mz.groups
+	// Candidate neighbors per group, reusing the backing arrays from
+	// earlier heads.
+	for len(mz.cand) < len(groups) {
+		mz.cand = append(mz.cand, nil)
+		mz.assign = append(mz.assign, nil)
+	}
+	cand := mz.cand[:len(groups)]
 	for gi, gr := range groups {
+		cand[gi] = cand[gi][:0]
 		for _, w := range g.Neighbors(head) {
 			if g.Label(w) == gr.label {
 				cand[gi] = append(cand[gi], w)
@@ -123,7 +151,7 @@ func starEmbeddings(g *graph.Graph, s Star, head graph.V, cap int) []pattern.Emb
 		}
 	}
 	var out []pattern.Embedding
-	assignment := make([][]graph.V, len(groups))
+	assignment := mz.assign[:len(groups)]
 	var rec func(gi int)
 	rec = func(gi int) {
 		if len(out) >= cap {

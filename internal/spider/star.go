@@ -11,10 +11,9 @@
 package spider
 
 import (
-	"fmt"
 	"runtime"
-	"sort"
-	"strings"
+	"slices"
+	"strconv"
 	"sync"
 
 	"repro/internal/graph"
@@ -29,15 +28,33 @@ type Star struct {
 
 // Key returns a canonical string key for the star.
 func (s Star) Key() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d:", s.Head)
+	b := make([]byte, 0, 4+4*len(s.Leaves))
+	b = strconv.AppendInt(b, int64(s.Head), 10)
+	b = append(b, ':')
 	for i, l := range s.Leaves {
 		if i > 0 {
-			b.WriteByte(',')
+			b = append(b, ',')
 		}
-		fmt.Fprintf(&b, "%d", l)
+		b = strconv.AppendInt(b, int64(l), 10)
 	}
-	return b.String()
+	return string(b)
+}
+
+// cmpStars orders mined stars by head label, then leaf multiset
+// (lexicographic, shorter first on common prefix). Equivalent to ordering
+// by Key() up to the digit-string vs numeric distinction; used by
+// sortMined so the comparator never formats strings.
+func cmpStars(a, b *MinedStar) int {
+	if a.Star.Head != b.Star.Head {
+		return int(a.Star.Head) - int(b.Star.Head)
+	}
+	al, bl := a.Star.Leaves, b.Star.Leaves
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return int(al[i]) - int(bl[i])
+		}
+	}
+	return len(al) - len(bl)
 }
 
 // Graph materializes the star as a pattern graph: vertex 0 is the head.
@@ -107,20 +124,26 @@ func MineStars(g *graph.Graph, opt Options) []*MinedStar {
 		maxLeaves = g.MaxDegree()
 	}
 
-	// Per-vertex neighbor label multiset, as sorted label slice.
+	// Per-vertex neighbor label multiset, as sorted label slices carved out
+	// of one flat allocation (the ranges mirror the graph's CSR layout).
+	flat := make([]graph.Label, 0, 2*g.M())
 	nbrLabels := make([][]graph.Label, g.N())
 	for v := 0; v < g.N(); v++ {
-		ls := make([]graph.Label, 0, g.Degree(graph.V(v)))
+		start := len(flat)
 		for _, w := range g.Neighbors(graph.V(v)) {
-			ls = append(ls, g.Label(w))
+			flat = append(flat, g.Label(w))
 		}
-		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		ls := flat[start:]
+		slices.Sort(ls)
 		nbrLabels[v] = ls
 	}
 	countLabel := func(v graph.V, l graph.Label) int {
 		ls := nbrLabels[v]
-		lo := sort.Search(len(ls), func(i int) bool { return ls[i] >= l })
-		hi := sort.Search(len(ls), func(i int) bool { return ls[i] > l })
+		lo, _ := slices.BinarySearch(ls, l)
+		hi := lo
+		for hi < len(ls) && ls[hi] == l {
+			hi++
+		}
 		return hi - lo
 	}
 
@@ -144,7 +167,7 @@ func MineStars(g *graph.Graph, opt Options) []*MinedStar {
 	var frontier []*MinedStar
 	for k, hosts := range lvl1 {
 		if len(hosts) >= sigma {
-			sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+			slices.Sort(hosts)
 			frontier = append(frontier, &MinedStar{
 				Star:  Star{Head: k.head, Leaves: []graph.Label{k.leaf}},
 				Hosts: hosts,
@@ -162,7 +185,7 @@ func MineStars(g *graph.Graph, opt Options) []*MinedStar {
 		candSet := make(map[graph.Label]struct{})
 		for _, v := range ms.Hosts {
 			ls := nbrLabels[v]
-			lo := sort.Search(len(ls), func(i int) bool { return ls[i] >= last })
+			lo, _ := slices.BinarySearch(ls, last)
 			var prev graph.Label = -1
 			for _, l := range ls[lo:] {
 				if l != prev {
@@ -175,7 +198,7 @@ func MineStars(g *graph.Graph, opt Options) []*MinedStar {
 		for l := range candSet {
 			cands = append(cands, l)
 		}
-		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+		slices.Sort(cands)
 
 		needOf := func(l graph.Label) int {
 			need := 1
@@ -200,7 +223,7 @@ func MineStars(g *graph.Graph, opt Options) []*MinedStar {
 			leaves := make([]graph.Label, len(ms.Star.Leaves)+1)
 			copy(leaves, ms.Star.Leaves)
 			leaves[len(leaves)-1] = l
-			sort.Slice(leaves, func(i, j int) bool { return leaves[i] < leaves[j] })
+			slices.Sort(leaves)
 			out = append(out, &MinedStar{Star: Star{Head: ms.Star.Head, Leaves: leaves}, Hosts: hosts})
 		}
 		return out
@@ -223,7 +246,7 @@ func MineStars(g *graph.Graph, opt Options) []*MinedStar {
 }
 
 func sortMined(ms []*MinedStar) {
-	sort.Slice(ms, func(i, j int) bool { return ms[i].Star.Key() < ms[j].Star.Key() })
+	slices.SortFunc(ms, cmpStars)
 }
 
 // expandLevel applies expand to every frontier star, optionally with a

@@ -1,7 +1,9 @@
 package spidermine
 
 import (
-	"sort"
+	"math"
+	"slices"
+	"sync"
 
 	"repro/internal/canon"
 	"repro/internal/graph"
@@ -62,6 +64,59 @@ func (m *Miner) growPattern(w *grown) bool {
 	return grewAny
 }
 
+// labCand pairs a leaf label with host vertices that can supply it at one
+// embedding's boundary image. Small linear-scanned slices of labCand
+// replace the per-embedding maps the extension step used to allocate
+// (candidate labels per head are few, and map churn dominated profiles).
+type labCand struct {
+	label graph.Label
+	verts []graph.V
+}
+
+func candOf(lcs []labCand, l graph.Label) []graph.V {
+	for i := range lcs {
+		if lcs[i].label == l {
+			return lcs[i].verts
+		}
+	}
+	return nil
+}
+
+// labCount is a (label, count) pair used for the greedy multiset state.
+type labCount struct {
+	label graph.Label
+	n     int
+}
+
+func countOf(lcs []labCount, l graph.Label) int {
+	for i := range lcs {
+		if lcs[i].label == l {
+			return lcs[i].n
+		}
+	}
+	return 0
+}
+
+func incrCount(lcs []labCount, l graph.Label) []labCount {
+	for i := range lcs {
+		if lcs[i].label == l {
+			lcs[i].n++
+			return lcs
+		}
+	}
+	return append(lcs, labCount{l, 1})
+}
+
+// growScratch is per-call extension state; pooled because growth may run
+// on parallel workers. mark is an epoch-stamped host-vertex set (no
+// clearing between embeddings, just a new epoch).
+type growScratch struct {
+	mark  []int32
+	epoch int32
+}
+
+var growPool = sync.Pool{New: func() any { return new(growScratch) }}
+
 // extendAt grows pattern p at boundary vertex b by the maximal frequent
 // leaf multiset, mutating p (graph, embeddings, caches) in place.
 // Returns whether at least one leaf was added.
@@ -79,60 +134,81 @@ func (m *Miner) extendAt(p *pattern.Pattern, b graph.V) bool {
 	}
 	headLabel := p.G.Label(b)
 
-	// availOf computes, per embedding, the multiset of candidate new-leaf
-	// labels: host neighbors of the image of b that are outside the
-	// embedding image and form a frequent (head,leaf) spider pair.
-	avail := make([]map[graph.Label][]graph.V, len(p.Emb))
+	// avail computes, per embedding, the candidate new-leaf host vertices
+	// grouped by label: host neighbors of the image of b that are outside
+	// the embedding image and form a frequent (head,leaf) spider pair.
+	// Vertex lists inherit the host CSR's ascending order.
+	sc := growPool.Get().(*growScratch)
+	if cap(sc.mark) < m.g.N() {
+		sc.mark = make([]int32, m.g.N())
+		sc.epoch = 0
+	}
+	sc.mark = sc.mark[:m.g.N()]
+	// Epoch wraparound guard: this call consumes one epoch per embedding;
+	// if that could reach stamps left by long-dead embeddings, clear and
+	// restart rather than alias them.
+	if sc.epoch > math.MaxInt32-int32(len(p.Emb))-1 {
+		clear(sc.mark[:cap(sc.mark)])
+		sc.epoch = 0
+	}
+	avail := make([][]labCand, len(p.Emb))
 	for i, e := range p.Emb {
-		h := e[b]
-		inImage := make(map[graph.V]bool, len(e))
+		sc.epoch++
 		for _, hv := range e {
-			inImage[hv] = true
+			sc.mark[hv] = sc.epoch
 		}
-		byLabel := make(map[graph.Label][]graph.V)
-		for _, nb := range m.g.Neighbors(h) {
-			if inImage[nb] {
+		var lcs []labCand
+		for _, nb := range m.g.Neighbors(e[b]) {
+			if sc.mark[nb] == sc.epoch {
 				continue
 			}
 			l := m.g.Label(nb)
 			if !m.freqPair[[2]graph.Label{headLabel, l}] {
 				continue
 			}
-			byLabel[l] = append(byLabel[l], nb)
+			found := false
+			for j := range lcs {
+				if lcs[j].label == l {
+					lcs[j].verts = append(lcs[j].verts, nb)
+					found = true
+					break
+				}
+			}
+			if !found {
+				lcs = append(lcs, labCand{label: l, verts: []graph.V{nb}})
+			}
 		}
-		avail[i] = byLabel
+		avail[i] = lcs
 	}
+	growPool.Put(sc)
 
 	// Greedy maximal frequent multiset: repeatedly add the label that the
 	// most surviving embeddings can still host; stop when no label keeps
 	// support >= σ.
-	chosen := map[graph.Label]int{} // label -> count
+	var chosen []labCount
 	survivors := make([]int, len(p.Emb))
 	for i := range survivors {
 		survivors[i] = i
 	}
+	total := 0
 	for {
 		// Candidate labels: anything available beyond its chosen count.
-		counts := map[graph.Label]int{}
+		var counts []labCount
 		for _, ei := range survivors {
-			for l, vs := range avail[ei] {
-				if len(vs) > chosen[l] {
-					counts[l]++
+			for _, lc := range avail[ei] {
+				if len(lc.verts) > countOf(chosen, lc.label) {
+					counts = incrCount(counts, lc.label)
 				}
 			}
 		}
+		// Best label: highest embedding count, ties toward the smallest
+		// label (the deterministic order the map-era code got by sorting).
 		var bestLabel graph.Label = -1
 		bestCount := 0
-		// Deterministic scan order.
-		labels := make([]graph.Label, 0, len(counts))
-		for l := range counts {
-			labels = append(labels, l)
-		}
-		sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
-		for _, l := range labels {
-			if c := counts[l]; c > bestCount {
-				bestCount = c
-				bestLabel = l
+		for _, c := range counts {
+			if c.n > bestCount || (c.n == bestCount && bestLabel >= 0 && c.label < bestLabel) {
+				bestCount = c.n
+				bestLabel = c.label
 			}
 		}
 		if bestLabel < 0 {
@@ -141,32 +217,24 @@ func (m *Miner) extendAt(p *pattern.Pattern, b graph.V) bool {
 		// Which embeddings survive if we add bestLabel?
 		var keep []int
 		for _, ei := range survivors {
-			if len(avail[ei][bestLabel]) > chosen[bestLabel] {
+			if len(candOf(avail[ei], bestLabel)) > countOf(chosen, bestLabel) {
 				keep = append(keep, ei)
 			}
 		}
 		if m.embSupport(p, keep) < m.cfg.MinSupport {
 			break
 		}
-		chosen[bestLabel]++
+		chosen = incrCount(chosen, bestLabel)
+		total++
 		survivors = keep
-	}
-	total := 0
-	for _, c := range chosen {
-		total += c
 	}
 	if total == 0 {
 		return false
 	}
+	slices.SortFunc(chosen, func(a, b labCount) int { return int(a.label) - int(b.label) })
 
 	// Build the extended pattern graph: new vertices appended after
 	// existing ones, one per chosen leaf, edges b—leaf.
-	labels := make([]graph.Label, 0, len(chosen))
-	for l := range chosen {
-		labels = append(labels, l)
-	}
-	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
-
 	nb := graph.NewBuilder(p.NV()+total, p.Size()+total)
 	for v := 0; v < p.NV(); v++ {
 		nb.AddVertex(p.G.Label(graph.V(v)))
@@ -174,9 +242,9 @@ func (m *Miner) extendAt(p *pattern.Pattern, b graph.V) bool {
 	for _, e := range p.G.Edges() {
 		nb.AddEdge(e.U, e.W)
 	}
-	for _, l := range labels {
-		for c := 0; c < chosen[l]; c++ {
-			leaf := nb.AddVertex(l)
+	for _, lc := range chosen {
+		for c := 0; c < lc.n; c++ {
+			leaf := nb.AddVertex(lc.label)
 			nb.AddEdge(b, leaf)
 		}
 	}
@@ -185,27 +253,27 @@ func (m *Miner) extendAt(p *pattern.Pattern, b graph.V) bool {
 	// sufficient once several boundary vertices have grown this pass).
 	// For very large patterns the O(V·(V+E)) exact check is deferred to
 	// the final top-K filter; the ecc guard alone bounds overshoot to +1.
-	if newG.N() <= 256 && newG.Diameter() > m.cfg.Dmax {
+	if newG.N() <= 256 && !newG.DiameterAtMost(m.cfg.Dmax) {
 		return false
 	}
 
 	// Extend surviving embeddings: per label, take the first chosen[l]
 	// available neighbors in host-id order (labels with equal value are
-	// interchangeable positions, so this is canonical).
+	// interchangeable positions, so this is canonical; avail lists are
+	// already host-id ascending).
 	newEmbs := make([]pattern.Embedding, 0, len(survivors))
 	for _, ei := range survivors {
 		e := p.Emb[ei]
 		ext := make(pattern.Embedding, 0, len(e)+total)
 		ext = append(ext, e...)
 		ok := true
-		for _, l := range labels {
-			vs := avail[ei][l]
-			if len(vs) < chosen[l] {
+		for _, lc := range chosen {
+			vs := candOf(avail[ei], lc.label)
+			if len(vs) < lc.n {
 				ok = false
 				break
 			}
-			sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
-			ext = append(ext, vs[:chosen[l]]...)
+			ext = append(ext, vs[:lc.n]...)
 		}
 		if ok {
 			newEmbs = append(newEmbs, ext)
@@ -215,12 +283,13 @@ func (m *Miner) extendAt(p *pattern.Pattern, b graph.V) bool {
 	// embeddings collapsing into one subgraph cannot fake support.
 	seenKeys := make(map[string]struct{}, len(newEmbs))
 	deduped := newEmbs[:0]
+	var keyBuf []byte
 	for _, e := range newEmbs {
-		k := e.ImageKey(newG)
-		if _, dup := seenKeys[k]; dup {
+		keyBuf = canon.AppendImageKey(keyBuf[:0], newG, canon.Mapping(e))
+		if _, dup := seenKeys[string(keyBuf)]; dup {
 			continue
 		}
-		seenKeys[k] = struct{}{}
+		seenKeys[string(keyBuf)] = struct{}{}
 		deduped = append(deduped, e)
 		if len(deduped) >= m.cfg.MaxEmbPerPattern {
 			break

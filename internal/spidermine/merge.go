@@ -21,15 +21,19 @@ func (m *Miner) checkMerges(ws []*grown) []*grown {
 	if len(ws) < 2 {
 		return ws
 	}
-	type slot struct {
-		w   int // index into ws
-		emb int // embedding index
-	}
 	// Overlap detection samples at most mergeScanEmb embeddings per pattern:
 	// merging only needs *one* overlapping pair per site, and the usage
 	// index otherwise grows as patterns × embeddings × pattern size.
 	const mergeScanEmb = 256
-	usage := make(map[graph.V][]slot)
+	// usage is indexed by host vertex id and kept on the Miner across
+	// rounds (checkMerges runs sequentially); only the touched entries are
+	// filled and they are truncated again before the pair scan returns, so
+	// each round is O(touched), not O(N).
+	if len(m.mergeUsage) < m.g.N() {
+		m.mergeUsage = make([][]usageSlot, m.g.N())
+	}
+	usage := m.mergeUsage
+	touched := make([]graph.V, 0, len(ws)*8)
 	for wi, w := range ws {
 		embs := w.p.Emb
 		if len(embs) > mergeScanEmb {
@@ -37,7 +41,10 @@ func (m *Miner) checkMerges(ws []*grown) []*grown {
 		}
 		for ei, e := range embs {
 			for _, hv := range e {
-				usage[hv] = append(usage[hv], slot{wi, ei})
+				if len(usage[hv]) == 0 {
+					touched = append(touched, hv)
+				}
+				usage[hv] = append(usage[hv], usageSlot{wi, ei})
 			}
 		}
 	}
@@ -45,7 +52,9 @@ func (m *Miner) checkMerges(ws []*grown) []*grown {
 	// pairs, deduplicated.
 	type pairKey struct{ a, b int }
 	pairs := make(map[pairKey]map[embPair]struct{})
-	for _, slots := range usage {
+	for _, hv := range touched {
+		slots := usage[hv]
+		usage[hv] = usage[hv][:0]
 		if len(slots) < 2 {
 			continue
 		}
@@ -117,6 +126,13 @@ func (m *Miner) checkMerges(ws []*grown) []*grown {
 	return append(out, merged...)
 }
 
+// usageSlot names one embedding of one working pattern during overlap
+// detection.
+type usageSlot struct {
+	w   int // index into ws
+	emb int // embedding index
+}
+
 // embPair indexes one embedding of each of two patterns being merged.
 type embPair struct{ ea, eb int }
 
@@ -132,13 +148,13 @@ func (m *Miner) tryMerge(pa, pb *pattern.Pattern, embPairs map[embPair]struct{})
 	}
 	buckets := make(map[uint64][]*bucket)
 
-	edgesOf := func(p *pattern.Pattern, e pattern.Embedding) []graph.Edge {
-		out := make([]graph.Edge, 0, p.Size())
-		for _, pe := range p.G.Edges() {
-			out = append(out, graph.NormEdge(e[pe.U], e[pe.W]))
-		}
-		return out
-	}
+	var bufA, bufB []graph.Edge
+	// Distinct embedding pairs routinely produce the same union edge set;
+	// the subgraph build, diameter check and isomorphism bucketing are all
+	// no-ops for a repeat (the image key dedupes it anyway), so skip them
+	// wholesale on a 128-bit hash of the sorted union (see canon.HashEdges
+	// for the collision trade-off).
+	seenUnions := make(map[[2]uint64]struct{})
 
 	// Deterministic order over embedding pairs.
 	ordered := make([]embPair, 0, len(embPairs))
@@ -156,7 +172,14 @@ func (m *Miner) tryMerge(pa, pb *pattern.Pattern, embPairs map[embPair]struct{})
 		if pr.ea >= len(pa.Emb) || pr.eb >= len(pb.Emb) {
 			continue
 		}
-		union := graph.UnionEdges(edgesOf(pa, pa.Emb[pr.ea]), edgesOf(pb, pb.Emb[pr.eb]))
+		bufA = canon.AppendMappedEdges(bufA[:0], pa.G, canon.Mapping(pa.Emb[pr.ea]))
+		bufB = canon.AppendMappedEdges(bufB[:0], pb.G, canon.Mapping(pb.Emb[pr.eb]))
+		union := graph.UnionEdges(bufA, bufB)
+		uh := canon.HashEdges(union)
+		if _, dup := seenUnions[uh]; dup {
+			continue
+		}
+		seenUnions[uh] = struct{}{}
 		ug, verts := m.g.SubgraphOfEdges(union)
 		if !ug.IsConnected() {
 			continue
@@ -164,7 +187,7 @@ func (m *Miner) tryMerge(pa, pb *pattern.Pattern, embPairs map[embPair]struct{})
 		// Merged patterns must respect the diameter bound; a union that
 		// exceeds Dmax cannot be a subgraph of a valid result pattern that
 		// this merge is meant to witness.
-		if ug.Diameter() > m.cfg.Dmax {
+		if !ug.DiameterAtMost(m.cfg.Dmax) {
 			continue
 		}
 		emb := make(pattern.Embedding, len(verts))

@@ -169,6 +169,9 @@ type Miner struct {
 	catalog  *spider.Catalog
 	// trees holds the r-spider seed population when cfg.Radius >= 2.
 	trees []*spider.MinedTree
+	// mergeUsage is checkMerges' per-host-vertex overlap index, reused
+	// across rounds (truncated, never reallocated).
+	mergeUsage [][]usageSlot
 }
 
 // New prepares a Miner for the host graph.

@@ -24,8 +24,9 @@ func (m *Miner) seedPatterns(M int, trees []*spider.MinedTree, rng *rand.Rand) [
 	}
 	idx := rng.Perm(len(trees))[:M]
 	out := make([]*pattern.Pattern, 0, M)
+	var matcher canon.Matcher // one search state for the whole draw
 	for _, ti := range idx {
-		if p := materializeTree(m.g, trees[ti], m.cfg.PerHostCap); p != nil {
+		if p := materializeTree(&matcher, m.g, trees[ti], m.cfg.PerHostCap); p != nil {
 			out = append(out, p)
 		}
 	}
@@ -33,20 +34,21 @@ func (m *Miner) seedPatterns(M int, trees []*spider.MinedTree, rng *rand.Rand) [
 }
 
 // materializeTree turns a mined tree spider into a Pattern by enumerating,
-// per hosting head, up to perHostCap anchored embeddings.
-func materializeTree(g *graph.Graph, mt *spider.MinedTree, perHostCap int) *pattern.Pattern {
+// per hosting head, up to perHostCap anchored embeddings. The caller's
+// Matcher carries the search state across heads and trees.
+func materializeTree(matcher *canon.Matcher, g *graph.Graph, mt *spider.MinedTree, perHostCap int) *pattern.Pattern {
 	if perHostCap <= 0 {
 		perHostCap = spider.DefaultPerHostCap
 	}
 	pg := mt.Tree.Graph()
 	var embs []pattern.Embedding
 	for _, head := range mt.Hosts {
-		canon.EnumerateEmbeddings(pg, g, canon.MatchOptions{
+		matcher.Enumerate(pg, g, canon.MatchOptions{
 			Limit:          perHostCap,
 			Anchor:         head,
 			DistinctImages: true,
 		}, func(mm canon.Mapping) bool {
-			embs = append(embs, pattern.Embedding(mm))
+			embs = append(embs, pattern.Embedding(mm.Clone()))
 			return true
 		})
 	}
