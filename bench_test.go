@@ -11,6 +11,7 @@ package repro_test
 // the -v log.
 
 import (
+	"fmt"
 	"io"
 	"testing"
 	"time"
@@ -132,6 +133,39 @@ func BenchmarkFullPipelineGID1(b *testing.B) {
 		if len(res.Patterns) == 0 {
 			b.Fatal("no patterns")
 		}
+	}
+}
+
+// BenchmarkFullPipelineParallel times the complete SpiderMine run on GID 1
+// at fixed worker counts and reports each sub-benchmark's wall-clock
+// speedup over the sequential engine (measured in-process as the
+// baseline). The parallel engine is deterministic, so every sub-benchmark
+// computes the identical result; only the sharding changes. On a
+// single-core host the metric hovers around 1.0 — the interesting read is
+// on multicore hardware, where Stages I–III all shard.
+func BenchmarkFullPipelineParallel(b *testing.B) {
+	g, _ := gen.Synthetic(gen.GIDConfig(1, 1))
+	cfg := spidermine.Config{MinSupport: 2, K: 10, Dmax: 4, Seed: 1}
+	const baseRuns = 3
+	t0 := time.Now()
+	for i := 0; i < baseRuns; i++ {
+		if res := spidermine.Mine(g, cfg); len(res.Patterns) == 0 {
+			b.Fatal("no patterns")
+		}
+	}
+	seqPerOp := time.Since(t0) / baseRuns
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfgW := cfg
+			cfgW.Workers = w
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if res := spidermine.Mine(g, cfgW); len(res.Patterns) == 0 {
+					b.Fatal("no patterns")
+				}
+			}
+			b.ReportMetric(float64(seqPerOp)/(float64(b.Elapsed())/float64(b.N)), "speedup")
+		})
 	}
 }
 

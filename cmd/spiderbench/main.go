@@ -21,12 +21,13 @@ import (
 
 func main() {
 	var (
-		expID  = flag.String("experiment", "", "experiment id to run (see -list)")
-		all    = flag.Bool("all", false, "run every experiment")
-		quick  = flag.Bool("quick", false, "shrink workloads for a fast pass")
-		seed   = flag.Int64("seed", 1, "random seed (runs are deterministic per seed)")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		verify = flag.Bool("verify", false, "check every paper claim against regenerated artifacts")
+		expID   = flag.String("experiment", "", "experiment id to run (see -list)")
+		all     = flag.Bool("all", false, "run every experiment")
+		quick   = flag.Bool("quick", false, "shrink workloads for a fast pass")
+		seed    = flag.Int64("seed", 1, "random seed (runs are deterministic per seed)")
+		workers = flag.Int("workers", 0, "mining parallelism: 0/1 sequential, N goroutines, -1 all CPUs (mined patterns are identical across settings; stats columns may differ)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		verify  = flag.Bool("verify", false, "check every paper claim against regenerated artifacts")
 	)
 	flag.Parse()
 
@@ -36,7 +37,7 @@ func main() {
 		}
 		return
 	}
-	params := experiments.Params{Seed: *seed, Quick: *quick}
+	params := experiments.Params{Seed: *seed, Quick: *quick, Workers: *workers}
 	if *verify {
 		lines, failures := experiments.VerifyAll(params)
 		for _, l := range lines {

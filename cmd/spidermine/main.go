@@ -22,17 +22,20 @@ import (
 
 func main() {
 	var (
-		in      = flag.String("in", "", "input graph file in LG format (required; - for stdin)")
-		k       = flag.Int("k", 10, "number of patterns K")
-		sup     = flag.Int("support", 2, "support threshold σ")
-		dmax    = flag.Int("dmax", 6, "pattern diameter bound Dmax")
-		epsilon = flag.Float64("epsilon", 0.1, "error bound ε (success probability 1-ε)")
-		vmin    = flag.Int("vmin", 0, "minimum large-pattern vertex count Vmin (default |V|/10)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		measure = flag.String("measure", "all", "reported support measure: all | disjoint | harmful")
-		stats   = flag.Bool("stats", false, "print mining statistics")
-		asDOT   = flag.Bool("dot", false, "emit patterns as Graphviz DOT instead of LG")
-		asJSON  = flag.Bool("json", false, "emit patterns as a JSON array")
+		in         = flag.String("in", "", "input graph file in LG format (required; - for stdin)")
+		k          = flag.Int("k", 10, "number of patterns K")
+		sup        = flag.Int("support", 2, "support threshold σ")
+		dmax       = flag.Int("dmax", 6, "pattern diameter bound Dmax")
+		epsilon    = flag.Float64("epsilon", 0.1, "error bound ε (success probability 1-ε)")
+		vmin       = flag.Int("vmin", 0, "minimum large-pattern vertex count Vmin (default |V|/10)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		workers    = flag.Int("workers", 0, "mining parallelism: 0/1 sequential, N goroutines, -1 all CPUs (mined patterns are identical across settings; -stats work counters may differ)")
+		maxLeaves  = flag.Int("max-leaves", 0, "cap star-spider leaves in Stage I (0 = unlimited; bound this on scale-free graphs)")
+		maxSpiders = flag.Int("max-spiders", 0, "cap Stage I spider enumeration (0 = unlimited; bound this on scale-free graphs)")
+		measure    = flag.String("measure", "all", "reported support measure: all | disjoint | harmful")
+		stats      = flag.Bool("stats", false, "print mining statistics")
+		asDOT      = flag.Bool("dot", false, "emit patterns as Graphviz DOT instead of LG")
+		asJSON     = flag.Bool("json", false, "emit patterns as a JSON array")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -75,13 +78,16 @@ func main() {
 		fatal(fmt.Errorf("unknown -measure %q", *measure))
 	}
 	res := spidermine.Mine(g, spidermine.Config{
-		MinSupport: *sup,
-		K:          *k,
-		Dmax:       *dmax,
-		Epsilon:    *epsilon,
-		Vmin:       *vmin,
-		Seed:       *seed,
-		Measure:    m,
+		MinSupport:       *sup,
+		K:                *k,
+		Dmax:             *dmax,
+		Epsilon:          *epsilon,
+		Vmin:             *vmin,
+		Seed:             *seed,
+		Measure:          m,
+		Workers:          *workers,
+		MaxLeavesPerStar: *maxLeaves,
+		MaxSpiders:       *maxSpiders,
 	})
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)

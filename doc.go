@@ -40,4 +40,34 @@
 //     epoch-stamped host marks instead of per-embedding maps, hash-deduped
 //     union subgraphs, early-exit diameter checks (graph.DiameterAtMost),
 //     and pooled BFS buffers for all eccentricity work.
+//
+// # Concurrency architecture
+//
+// Config.Workers shards all three mining stages over the deterministic
+// worker-pool substrate in internal/par, under three invariants that every
+// future parallel change must preserve (TestParallelEqualsSequential in
+// internal/spidermine is the enforcing harness):
+//
+//   - Shared-immutable: the host graph (whose label index builds lazily
+//     behind a sync.Once, so first use may happen on any worker), the
+//     frequent-pair table, the spider catalog, and the run Config are only
+//     read by workers. Randomness is drawn on the coordinating goroutine
+//     before any fan-out — workers never touch the rng.
+//   - Per-worker scratch: each worker owns its canon.Matcher,
+//     spider.Materializer, grow scratch, and accumulator slot; package
+//     sync.Pools (BFS buffers, pooled matchers) remain as race-free
+//     backstops for code off the sharded paths. Scratch contents may
+//     affect allocation behavior, never results.
+//   - Ordered reduction: parallel stages write results into item-indexed
+//     slots (par.Map) and all cross-worker combination — concatenating
+//     Stage I expansions, accepting Stage II merges, assigning pattern
+//     IDs — happens afterwards in item order (pattern/vertex id order),
+//     never completion order and never map-iteration order. Merge rounds
+//     evaluate candidate pairs in bounded waves and re-apply the
+//     sequential consumed-pair filter during the reduction, so accepted
+//     merges are bit-identical to the sequential engine's.
+//
+// Consequence: for a fixed Config (including Seed), the Result is
+// byte-for-byte identical for every Workers setting; only wall-clock and
+// the speculative-work counter Stats.IsoRun vary.
 package repro

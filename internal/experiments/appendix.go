@@ -34,7 +34,7 @@ func AppC3(rs []int, seed int64, scale float64) *Report {
 		t0 := time.Now()
 		var count int
 		if r == 1 {
-			count = len(spider.MineStars(g, spider.Options{MinSupport: 2}))
+			count = len(spider.MineStars(g, spider.Options{MinSupport: 2, Workers: MiningWorkers()}))
 		} else {
 			count = len(spider.MineTrees(g, spider.TreeOptions{
 				MinSupport: 2, Radius: r, MaxFanout: fanout, MaxSpiders: 500_000,
@@ -62,7 +62,7 @@ func AppC4(epsilons []float64, seed int64, scale float64) *Report {
 		t0 := time.Now()
 		res := spidermine.Mine(g, spidermine.Config{
 			MinSupport: sigma, K: 10, Dmax: 8, Epsilon: eps, Seed: seed,
-			Measure: support.HarmfulOverlap,
+			Measure: support.HarmfulOverlap, Workers: MiningWorkers(),
 		})
 		el := time.Since(t0)
 		top := 0
@@ -126,7 +126,7 @@ func Ablations(seed int64) *Report {
 		rep.Rows = append(rep.Rows, []string{
 			name, el.String(), itoa(top), i64a(res.Stats.IsoRun), i64a(res.Stats.IsoSkipped), itoa(len(res.Patterns))})
 	}
-	base := spidermine.Config{MinSupport: 2, K: 10, Dmax: 4, Seed: seed}
+	base := spidermine.Config{MinSupport: 2, K: 10, Dmax: 4, Seed: seed, Workers: MiningWorkers()}
 	run("baseline", base)
 	noSS := base
 	noSS.DisableSpiderSetPruning = true

@@ -21,7 +21,7 @@ func Fig20(seed int64, scale float64) *Report {
 		Seed:    seed,
 	})
 	smRes := spidermine.Mine(g, spidermine.Config{MinSupport: 4, K: 20, Dmax: 6, Seed: seed,
-		Measure: support.HarmfulOverlap})
+		Measure: support.HarmfulOverlap, Workers: MiningWorkers()})
 	smHist := SizeHistogram(smRes.Patterns)
 
 	sd := subdue.Mine(g, subdue.Config{MinSupport: 4})
@@ -52,7 +52,7 @@ func Fig20(seed int64, scale float64) *Report {
 func Fig21(seed int64, scale float64) *Report {
 	g, sigma := callGraphFor(seed, scale)
 	smRes := spidermine.Mine(g, spidermine.Config{MinSupport: sigma, K: 10, Dmax: 8, Seed: seed,
-		Measure: support.HarmfulOverlap})
+		Measure: support.HarmfulOverlap, Workers: MiningWorkers()})
 	smHist := SizeHistogram(smRes.Patterns)
 
 	sd := subdue.Mine(g, subdue.Config{MinSupport: sigma})

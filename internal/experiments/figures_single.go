@@ -26,7 +26,7 @@ func randFor(seed, variant int64) *rand.Rand {
 // Dmax=4) against SUBDUE and SEuS.
 func Fig4to8(gid int, seed int64) *Report {
 	g, _ := gen.Synthetic(gen.GIDConfig(gid, seed))
-	smRes := spidermine.Mine(g, spidermine.Config{MinSupport: 2, K: 10, Dmax: 4, Epsilon: 0.1, Seed: seed})
+	smRes := spidermine.Mine(g, spidermine.Config{MinSupport: 2, K: 10, Dmax: 4, Epsilon: 0.1, Seed: seed, Workers: MiningWorkers()})
 	smHist := SizeHistogram(smRes.Patterns)
 
 	sd := subdue.Mine(g, subdue.Config{MinSupport: 2})
@@ -71,7 +71,7 @@ func Fig9(sizes []int, seed int64, mossTimeout time.Duration) *Report {
 			Small: gen.InjectSpec{NV: 3, Count: 3, Support: 2}}
 		g, _ := gen.Synthetic(cfg)
 		t0 := time.Now()
-		spidermine.Mine(g, spidermine.Config{MinSupport: 2, K: 10, Dmax: 4, Seed: seed})
+		spidermine.Mine(g, spidermine.Config{MinSupport: 2, K: 10, Dmax: 4, Seed: seed, Workers: MiningWorkers()})
 		smT := time.Since(t0)
 		t1 := time.Now()
 		mr := moss.Mine(g, moss.Config{MinSupport: 2, Timeout: mossTimeout})
@@ -140,6 +140,7 @@ func scaleMineConfig(seed int64) spidermine.Config {
 		Measure:          support.HarmfulOverlap,
 		MaxLeavesPerStar: 8,
 		MaxSpiders:       500_000,
+		Workers:          MiningWorkers(),
 	}
 }
 
@@ -183,7 +184,7 @@ func Fig13and17(sizes []int, seed int64) *Report {
 		t0 := time.Now()
 		res := spidermine.Mine(g, spidermine.Config{MinSupport: 2, K: 10, Dmax: 6, Seed: seed,
 			MaxLeavesPerStar: 8, MaxSpiders: 1_000_000,
-			Measure: support.HarmfulOverlap, Workers: -1})
+			Measure: support.HarmfulOverlap, Workers: scaleWorkers()})
 		el := time.Since(t0)
 		le := 0
 		if len(res.Patterns) > 0 {
@@ -207,7 +208,7 @@ func Fig16(seed int64, mossTimeout time.Duration) *Report {
 	for gid := 1; gid <= 5; gid++ {
 		g, _ := gen.Synthetic(gen.GIDConfig(gid, seed))
 		t0 := time.Now()
-		spidermine.Mine(g, spidermine.Config{MinSupport: 2, K: 10, Dmax: 4, Seed: seed})
+		spidermine.Mine(g, spidermine.Config{MinSupport: 2, K: 10, Dmax: 4, Seed: seed, Workers: MiningWorkers()})
 		smT := time.Since(t0)
 		t1 := time.Now()
 		subdue.Mine(g, subdue.Config{MinSupport: 2})
@@ -246,7 +247,7 @@ func Fig18(seed int64, scale float64) *Report {
 		cfg.Small.Count = scaled(cfg.Small.Count, scale)
 		g, _ := gen.Synthetic(cfg)
 		t0 := time.Now()
-		res := spidermine.Mine(g, spidermine.Config{MinSupport: 10, K: 5, Dmax: 6, Seed: seed})
+		res := spidermine.Mine(g, spidermine.Config{MinSupport: 10, K: 5, Dmax: 6, Seed: seed, Workers: MiningWorkers()})
 		el := time.Since(t0)
 		row := []string{itoa(gid)}
 		for i := 0; i < 5; i++ {
@@ -277,7 +278,7 @@ func Fig19(ds []int, seed int64, scale float64) *Report {
 		Header: []string{"d=Dmax/2", "top1", "top2", "top3", "top4", "top5"},
 	}
 	for _, d := range ds {
-		res := spidermine.Mine(g, spidermine.Config{MinSupport: 10, K: 5, Dmax: 2 * d, Seed: seed})
+		res := spidermine.Mine(g, spidermine.Config{MinSupport: 10, K: 5, Dmax: 2 * d, Seed: seed, Workers: MiningWorkers()})
 		row := []string{itoa(d)}
 		for i := 0; i < 5; i++ {
 			if i < len(res.Patterns) {
@@ -303,7 +304,7 @@ func SpiderCountOnly(n int, seed int64) (int, time.Duration) {
 	g := gen.BarabasiAlbert(n, 2, 100, rng)
 	t0 := time.Now()
 	stars := spider.MineStars(g, spider.Options{
-		MinSupport: 2, MaxLeaves: 6, MaxSpiders: 500_000, Workers: -1,
+		MinSupport: 2, MaxLeaves: 6, MaxSpiders: 500_000, Workers: scaleWorkers(),
 	})
 	return len(stars), time.Since(t0)
 }

@@ -72,6 +72,7 @@ func txCompare(id, title string, cfg TxConfig, note string) *Report {
 	})
 	smRes := spidermine.MineTransactions(db, spidermine.Config{
 		MinSupport: cfg.NumGraphs / 2, K: 10, Dmax: 6, Seed: cfg.Seed,
+		Workers: MiningWorkers(),
 		// Transaction merging needs the same union structure at σ distinct
 		// sites; extra randomized restarts of Stages II-III (a §4.2.1
 		// suggestion) substantially raise the hit rate at negligible cost

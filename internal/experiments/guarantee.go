@@ -60,7 +60,7 @@ func GuaranteeCheck(trials int, epsilon float64, seed int64) ([]GuaranteeTrial, 
 	for t := 0; t < trials; t++ {
 		res := spidermine.Mine(g, spidermine.Config{
 			MinSupport: sigma, K: k, Dmax: dmax, Epsilon: epsilon,
-			Seed: seed*1000 + int64(t),
+			Seed: seed*1000 + int64(t), Workers: MiningWorkers(),
 		})
 		mined := 0
 		if len(res.Patterns) > 0 {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 )
 
@@ -11,6 +12,36 @@ import (
 type Params struct {
 	Seed  int64
 	Quick bool
+	// Workers sets mining parallelism for every SpiderMine invocation an
+	// experiment performs (0/1 sequential, > 1 that many goroutines, < 0
+	// GOMAXPROCS). The parallel engine is deterministic, so regenerated
+	// tables are identical across settings — only wall-clock changes.
+	Workers int
+}
+
+// miningWorkers is the Workers value experiment drivers plumb into every
+// spidermine.Config / spider.Options they build. It is process-global
+// (atomic, so concurrent -race runs stay clean) because the figure drivers
+// predate Params-threading; Run stores Params.Workers here before
+// dispatching.
+var miningWorkers atomic.Int32
+
+// SetMiningWorkers sets the parallelism applied by subsequent experiment
+// runs; see Params.Workers for the encoding.
+func SetMiningWorkers(n int) { miningWorkers.Store(int32(n)) }
+
+// MiningWorkers reports the current experiment parallelism setting.
+func MiningWorkers() int { return int(miningWorkers.Load()) }
+
+// scaleWorkers is MiningWorkers with an all-CPUs default: the large-scale
+// sweeps (fig13/fig17-class Stage I workloads) always ran on every core
+// before the -workers flag existed, and the engine is deterministic, so
+// only an explicit setting should slow them down.
+func scaleWorkers() int {
+	if w := MiningWorkers(); w != 0 {
+		return w
+	}
+	return -1
 }
 
 // Runner produces a report for one experiment id.
@@ -136,5 +167,6 @@ func Run(id string, p Params) (*Report, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
 	}
+	SetMiningWorkers(p.Workers)
 	return r(p), nil
 }

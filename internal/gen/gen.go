@@ -62,16 +62,26 @@ func BarabasiAlbert(n, attach, numLabels int, rng *rand.Rand) *graph.Graph {
 			endpoints = append(endpoints, graph.V(i), graph.V(j))
 		}
 	}
+	chosen := make([]graph.V, 0, attach)
 	for v := attach + 1; v < n; v++ {
-		chosen := make(map[graph.V]struct{}, attach)
+		chosen = chosen[:0]
+	draw:
 		for len(chosen) < attach {
 			t := endpoints[rng.Intn(len(endpoints))]
 			if int(t) == v {
 				continue
 			}
-			chosen[t] = struct{}{}
+			for _, c := range chosen {
+				if c == t {
+					continue draw
+				}
+			}
+			chosen = append(chosen, t)
 		}
-		for t := range chosen {
+		// Append in draw order — the endpoint multiset's order feeds later
+		// degree-proportional draws, so it must not depend on map iteration
+		// (a map here once made the generated graph differ across runs).
+		for _, t := range chosen {
 			b.AddEdge(graph.V(v), t)
 			endpoints = append(endpoints, graph.V(v), t)
 		}

@@ -1,0 +1,67 @@
+package graph
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestLabelIndexConcurrentFirstUse hammers the lazily-built label index
+// from many goroutines at once — the exact access pattern the parallel
+// mining engine produces when per-worker matchers share one host graph.
+// Under -race this is the regression net for the sync.Once guarding
+// buildLabelIndex; the value checks catch torn or duplicated index state.
+func TestLabelIndexConcurrentFirstUse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	b := NewBuilder(2000, 6000)
+	for i := 0; i < 2000; i++ {
+		b.AddVertex(Label(rng.Intn(40)))
+	}
+	for i := 0; i < 6000; i++ {
+		b.AddEdge(V(rng.Intn(2000)), V(rng.Intn(2000)))
+	}
+	g := b.Build()
+
+	// Reference index from an identical graph, built sequentially.
+	ref := g.Clone()
+	wantCounts := make(map[Label]int)
+	for l := Label(0); l < 40; l++ {
+		wantCounts[l] = ref.LabelCount(l)
+	}
+	wantLabels := ref.NumLabels()
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for l := Label(0); l < 40; l++ {
+				if got := g.LabelCount(l); got != wantCounts[l] {
+					errs <- "LabelCount mismatch"
+					return
+				}
+				vs := g.VerticesWithLabel(l)
+				if len(vs) != wantCounts[l] {
+					errs <- "VerticesWithLabel length mismatch"
+					return
+				}
+				for j, v := range vs {
+					if g.Label(v) != l || (j > 0 && vs[j-1] >= v) {
+						errs <- "VerticesWithLabel unsorted or mislabeled"
+						return
+					}
+				}
+			}
+			if g.NumLabels() != wantLabels {
+				errs <- "NumLabels mismatch"
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

@@ -1,0 +1,119 @@
+// Package par is the deterministic worker-pool substrate for the parallel
+// mining stages. It deliberately exposes item-indexed primitives only:
+// results land in slots keyed by item index and every cross-worker
+// combination the callers perform happens in item order, so the output of
+// a parallel stage is bit-identical to the sequential run for any worker
+// count — the scheduling decides *who* computes each slot, never *what*
+// ends up in it.
+//
+// Contract for fn passed to Do/Map: fn(worker, item) must derive its
+// result from item (and shared-immutable state) alone. The worker index
+// exists solely to select per-worker scratch — a canon.Matcher, a
+// spider.Materializer, a grow scratch — whose contents may influence
+// allocation behavior but never results. Accumulators (counters, "any
+// progress" flags) must be worker-indexed and reduced after the join.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve normalizes a Workers configuration value to an actual worker
+// count: 0 and 1 mean sequential (one worker), negative means GOMAXPROCS,
+// anything else is taken literally.
+func Resolve(workers int) int {
+	if workers < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if workers == 0 {
+		return 1
+	}
+	return workers
+}
+
+// Bound resolves a Workers configuration value against an item count:
+// never more workers than items, never fewer than one. This is the worker
+// count Do uses internally; callers that size per-worker scratch
+// ([]canon.Matcher, []Materializer, accumulator slices) call Bound with
+// the same arguments so scratch and pool agree.
+func Bound(n, workers int) int {
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Do runs fn(worker, item) for every item in [0, n), spread over at most
+// `workers` goroutines (after Resolve; never more than n). Items are handed
+// out by an atomic counter, so assignment of items to workers is
+// load-balanced and unspecified — see the package contract. With one
+// worker, fn runs inline on the caller's goroutine with worker index 0.
+func Do(n, workers int, fn func(worker, item int)) {
+	workers = Bound(n, workers)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Map runs fn(worker, item) for every item in [0, n) under Do's scheduling
+// and returns the results indexed by item — the ordered-reduction shape
+// every parallel stage reduces to.
+func Map[T any](n, workers int, fn func(worker, item int) T) []T {
+	out := make([]T, n)
+	Do(n, workers, func(w, i int) {
+		out[i] = fn(w, i)
+	})
+	return out
+}
+
+// Chunks splits [0, n) into at most `workers` contiguous near-equal
+// [lo, hi) ranges, for stages that shard a vertex or head range rather
+// than a work list (Stage I partitions spider heads this way). The ranges
+// cover [0, n) exactly, in ascending order, so concatenating per-chunk
+// results in chunk order preserves the sequential item order.
+func Chunks(n, workers int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	workers = Bound(n, workers)
+	if workers <= 1 {
+		return [][2]int{{0, n}}
+	}
+	out := make([][2]int, 0, workers)
+	size, rem := n/workers, n%workers
+	lo := 0
+	for c := 0; c < workers; c++ {
+		hi := lo + size
+		if c < rem {
+			hi++
+		}
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != 1 {
+		t.Fatalf("Resolve(0) = %d, want 1", got)
+	}
+	if got := Resolve(1); got != 1 {
+		t.Fatalf("Resolve(1) = %d, want 1", got)
+	}
+	if got := Resolve(7); got != 7 {
+		t.Fatalf("Resolve(7) = %d, want 7", got)
+	}
+	if got := Resolve(-1); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(-1) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestDoCoversEveryItemExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, -1} {
+		const n = 1000
+		hits := make([]atomic.Int32, n)
+		Do(n, workers, func(_, i int) {
+			hits[i].Add(1)
+		})
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: item %d processed %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	const n = 500
+	want := Map(n, 1, func(_, i int) int { return i * i })
+	for _, workers := range []int{2, 3, 8, -1} {
+		got := Map(n, workers, func(_, i int) int { return i * i })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDoWorkerIndexInRange(t *testing.T) {
+	const n, workers = 200, 4
+	var bad atomic.Int32
+	Do(n, workers, func(w, _ int) {
+		if w < 0 || w >= workers {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatal("worker index out of [0, workers)")
+	}
+}
+
+func TestDoEmptyAndSingle(t *testing.T) {
+	ran := 0
+	Do(0, 8, func(_, _ int) { ran++ })
+	if ran != 0 {
+		t.Fatal("Do(0, ...) ran items")
+	}
+	Do(1, 8, func(w, i int) {
+		if w != 0 || i != 0 {
+			t.Fatalf("Do(1, ...) got (w=%d, i=%d)", w, i)
+		}
+		ran++
+	})
+	if ran != 1 {
+		t.Fatal("Do(1, ...) did not run the single item")
+	}
+}
+
+func TestChunks(t *testing.T) {
+	for _, tc := range []struct {
+		n, workers int
+	}{{0, 4}, {1, 4}, {7, 3}, {100, 8}, {5, 5}, {3, 16}} {
+		chunks := Chunks(tc.n, tc.workers)
+		next := 0
+		for _, c := range chunks {
+			if c[0] != next {
+				t.Fatalf("n=%d workers=%d: chunk starts at %d, want %d", tc.n, tc.workers, c[0], next)
+			}
+			if c[1] <= c[0] {
+				t.Fatalf("n=%d workers=%d: empty chunk %v", tc.n, tc.workers, c)
+			}
+			next = c[1]
+		}
+		if next != tc.n {
+			t.Fatalf("n=%d workers=%d: chunks cover [0,%d), want [0,%d)", tc.n, tc.workers, next, tc.n)
+		}
+		if len(chunks) > Resolve(tc.workers) {
+			t.Fatalf("n=%d workers=%d: %d chunks", tc.n, tc.workers, len(chunks))
+		}
+	}
+}

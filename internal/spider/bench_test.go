@@ -45,6 +45,6 @@ func BenchmarkRandomSeed(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		RandomSeed(g, c, 86, 8, rng)
+		RandomSeed(g, c, 86, 8, rng, 0)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/pattern"
 )
 
@@ -54,21 +55,24 @@ func PSuccess(numVertices, vmin, k, m int) float64 {
 // RandomSeed draws up to m distinct spiders uniformly at random from the
 // catalog and materializes each as a seed Pattern with its embeddings in g
 // (up to perHostCap embeddings per hosting head; 0 means DefaultPerHostCap).
-// IDs are assigned 0..len-1 in draw order. One Materializer carries the
-// enumeration scratch across the whole draw.
-func RandomSeed(g *graph.Graph, c *Catalog, m int, perHostCap int, rng *rand.Rand) []*pattern.Pattern {
+// IDs are assigned 0..len-1 in draw order.
+//
+// The draw consumes rng sequentially; materialization shards across
+// workers (0/1 sequential, < 0 GOMAXPROCS), each worker owning one
+// Materializer. Results land in draw-order slots, so the seed list is
+// identical for any worker count.
+func RandomSeed(g *graph.Graph, c *Catalog, m int, perHostCap int, rng *rand.Rand, workers int) []*pattern.Pattern {
 	if m > c.Len() {
 		m = c.Len()
 	}
 	idx := rng.Perm(c.Len())[:m]
-	out := make([]*pattern.Pattern, 0, m)
-	var mat Materializer
-	for i, si := range idx {
-		p := mat.Materialize(g, c.Stars[si], perHostCap)
+	wk := par.Bound(len(idx), workers)
+	mats := make([]Materializer, wk) // per-worker enumeration scratch
+	return par.Map(len(idx), wk, func(w, i int) *pattern.Pattern {
+		p := mats[w].Materialize(g, c.Stars[idx[i]], perHostCap)
 		p.ID = i
-		out = append(out, p)
-	}
-	return out
+		return p
+	})
 }
 
 // DefaultPerHostCap bounds how many embeddings are enumerated per hosting

@@ -171,8 +171,8 @@ func TestQuickComputeMMonotone(t *testing.T) {
 func TestRandomSeedDeterminism(t *testing.T) {
 	g := twoStarsGraph()
 	c := NewCatalog(MineStars(g, Options{MinSupport: 2}))
-	a := RandomSeed(g, c, 3, 4, rand.New(rand.NewSource(1)))
-	b := RandomSeed(g, c, 3, 4, rand.New(rand.NewSource(1)))
+	a := RandomSeed(g, c, 3, 4, rand.New(rand.NewSource(1)), 0)
+	b := RandomSeed(g, c, 3, 4, rand.New(rand.NewSource(1)), 0)
 	if len(a) != len(b) {
 		t.Fatal("draw size differs")
 	}

@@ -11,12 +11,11 @@
 package spider
 
 import (
-	"runtime"
 	"slices"
 	"strconv"
-	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 )
 
 // Star is a radius-1 spider: Head is the head vertex label; Leaves is the
@@ -96,9 +95,11 @@ type Options struct {
 	// MaxSpiders aborts enumeration past this many frequent spiders
 	// (0 = unlimited); scale-free graphs can produce millions (Fig. 17).
 	MaxSpiders int
-	// Workers parallelizes level expansion: 0/1 sequential, > 1 that many
-	// goroutines, < 0 GOMAXPROCS. Results are identical across settings
-	// (each parent star expands independently; output order is re-sorted).
+	// Workers parallelizes Stage I: 0/1 sequential, > 1 that many
+	// goroutines, < 0 GOMAXPROCS. The level-1 scan partitions head
+	// vertices across workers (contiguous chunks merged in chunk order)
+	// and level expansion shards parent stars (outputs reduced in frontier
+	// order), so the mined spider list is identical across settings.
 	Workers int
 }
 
@@ -125,18 +126,28 @@ func MineStars(g *graph.Graph, opt Options) []*MinedStar {
 	}
 
 	// Per-vertex neighbor label multiset, as sorted label slices carved out
-	// of one flat allocation (the ranges mirror the graph's CSR layout).
-	flat := make([]graph.Label, 0, 2*g.M())
+	// of one flat allocation per worker chunk (the ranges mirror the
+	// graph's CSR layout). Chunks partition the vertex range contiguously,
+	// so each worker writes disjoint nbrLabels slots.
 	nbrLabels := make([][]graph.Label, g.N())
-	for v := 0; v < g.N(); v++ {
-		start := len(flat)
-		for _, w := range g.Neighbors(graph.V(v)) {
-			flat = append(flat, g.Label(w))
+	chunks := par.Chunks(g.N(), opt.Workers)
+	par.Do(len(chunks), len(chunks), func(_, ci int) {
+		lo, hi := chunks[ci][0], chunks[ci][1]
+		size := 0
+		for v := lo; v < hi; v++ {
+			size += g.Degree(graph.V(v))
 		}
-		ls := flat[start:]
-		slices.Sort(ls)
-		nbrLabels[v] = ls
-	}
+		flat := make([]graph.Label, 0, size)
+		for v := lo; v < hi; v++ {
+			start := len(flat)
+			for _, w := range g.Neighbors(graph.V(v)) {
+				flat = append(flat, g.Label(w))
+			}
+			ls := flat[start:]
+			slices.Sort(ls)
+			nbrLabels[v] = ls
+		}
+	})
 	countLabel := func(v graph.V, l graph.Label) int {
 		ls := nbrLabels[v]
 		lo, _ := slices.BinarySearch(ls, l)
@@ -147,21 +158,38 @@ func MineStars(g *graph.Graph, opt Options) []*MinedStar {
 		return hi - lo
 	}
 
-	// Level 1.
+	// Level 1: partition the candidate head vertices across workers, each
+	// building a local (head label, leaf label) → hosts table, then merge
+	// the locals in chunk order. Chunks are ascending contiguous vertex
+	// ranges, so every merged host list comes out ascending — the same
+	// lists the sequential scan builds.
 	type hostKey struct {
 		head, leaf graph.Label
 	}
-	lvl1 := make(map[hostKey][]graph.V)
-	for v := 0; v < g.N(); v++ {
-		hl := g.Label(graph.V(v))
-		var prev graph.Label = -1
-		for _, l := range nbrLabels[v] {
-			if l == prev {
-				continue
+	locals := par.Map(len(chunks), len(chunks), func(_, ci int) map[hostKey][]graph.V {
+		local := make(map[hostKey][]graph.V)
+		for v := chunks[ci][0]; v < chunks[ci][1]; v++ {
+			hl := g.Label(graph.V(v))
+			var prev graph.Label = -1
+			for _, l := range nbrLabels[v] {
+				if l == prev {
+					continue
+				}
+				prev = l
+				local[hostKey{hl, l}] = append(local[hostKey{hl, l}], graph.V(v))
 			}
-			prev = l
-			k := hostKey{hl, l}
-			lvl1[k] = append(lvl1[k], graph.V(v))
+		}
+		return local
+	})
+	var lvl1 map[hostKey][]graph.V
+	if len(locals) == 1 {
+		lvl1 = locals[0] // sequential / single-chunk: no copy
+	} else {
+		lvl1 = make(map[hostKey][]graph.V)
+		for _, local := range locals {
+			for k, hosts := range local {
+				lvl1[k] = append(lvl1[k], hosts...)
+			}
 		}
 	}
 	var frontier []*MinedStar
@@ -250,39 +278,13 @@ func sortMined(ms []*MinedStar) {
 }
 
 // expandLevel applies expand to every frontier star, optionally with a
-// worker pool. Per-parent outputs are concatenated in frontier order, so
-// the result is identical for any worker count.
+// worker pool. Per-parent outputs land in frontier-order slots and are
+// concatenated in that order, so the result is identical for any worker
+// count.
 func expandLevel(frontier []*MinedStar, expand func(*MinedStar) []*MinedStar, workers int) []*MinedStar {
-	if workers < 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers <= 1 || len(frontier) < 2 {
-		var next []*MinedStar
-		for _, ms := range frontier {
-			next = append(next, expand(ms)...)
-		}
-		return next
-	}
-	if workers > len(frontier) {
-		workers = len(frontier)
-	}
-	results := make([][]*MinedStar, len(frontier))
-	var wg sync.WaitGroup
-	work := make(chan int, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				results[i] = expand(frontier[i])
-			}
-		}()
-	}
-	for i := range frontier {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
+	results := par.Map(len(frontier), workers, func(_, i int) []*MinedStar {
+		return expand(frontier[i])
+	})
 	var next []*MinedStar
 	for _, r := range results {
 		next = append(next, r...)

@@ -3,7 +3,6 @@ package spidermine
 import (
 	"math"
 	"slices"
-	"sync"
 
 	"repro/internal/canon"
 	"repro/internal/graph"
@@ -15,17 +14,20 @@ func isoCheck(a, b *pattern.Pattern) bool { return canon.Isomorphic(a.G, b.G) }
 // growAll runs one SpiderGrow iteration over every working pattern,
 // reporting whether any pattern was extended. With cfg.Workers > 1 (or
 // < 0 for GOMAXPROCS) patterns grow concurrently; results are identical
-// because patterns are grown independently.
+// because each pattern is grown independently against shared-immutable
+// state (host graph, frequent-pair table) with worker-owned scratch.
 func (m *Miner) growAll(ws []*grown) bool {
-	if m.cfg.Workers > 1 || m.cfg.Workers < 0 {
-		return m.growAllParallel(ws, m.cfg.Workers)
+	if workers := m.workerCount(len(ws)); workers > 1 {
+		return m.growAllParallel(ws, workers)
 	}
+	m.ensureGrowScratch(1)
+	sc := m.growScr[0]
 	any := false
 	for _, w := range ws {
 		if w.done {
 			continue
 		}
-		if m.growPattern(w) {
+		if m.growPattern(w, sc) {
 			any = true
 		} else {
 			w.done = true
@@ -36,14 +38,16 @@ func (m *Miner) growAll(ws []*grown) bool {
 
 // growPattern performs one radius-increasing growth step (Algorithm 2 +
 // Algorithm 3): at every boundary vertex, append the maximal frequent
-// spider extension. Returns whether the pattern gained any vertex.
+// spider extension. Returns whether the pattern gained any vertex. sc is
+// the caller-owned extension scratch — one per worker, so growPattern may
+// run on parallel workers against disjoint patterns.
 //
 // SpiderExtend's two invariants are enforced:
 //   - Maximal overlap: the appended spider is the largest frequent star at
 //     the boundary image (greedy maximal leaf multiset).
 //   - Internal integrity: only edges from the boundary vertex to new
 //     vertices are added; the interior of P is untouched.
-func (m *Miner) growPattern(w *grown) bool {
+func (m *Miner) growPattern(w *grown, sc *growScratch) bool {
 	p := w.p
 	boundary := p.Boundary(w.radius)
 	grewAny := false
@@ -51,7 +55,7 @@ func (m *Miner) growPattern(w *grown) bool {
 		if int(b) >= p.NV() {
 			continue // pattern graph replaced with fewer vertices (defensive)
 		}
-		if m.extendAt(p, b) {
+		if m.extendAt(p, b, sc) {
 			grewAny = true
 		}
 	}
@@ -107,20 +111,28 @@ func incrCount(lcs []labCount, l graph.Label) []labCount {
 	return append(lcs, labCount{l, 1})
 }
 
-// growScratch is per-call extension state; pooled because growth may run
-// on parallel workers. mark is an epoch-stamped host-vertex set (no
-// clearing between embeddings, just a new epoch).
+// growScratch is per-worker extension state, owned by exactly one worker
+// for the duration of a growth pass (see Miner.ensureGrowScratch). mark is
+// an epoch-stamped host-vertex set (no clearing between embeddings, just a
+// new epoch).
 type growScratch struct {
 	mark  []int32
 	epoch int32
 }
 
-var growPool = sync.Pool{New: func() any { return new(growScratch) }}
+// ensureGrowScratch sizes the per-worker scratch table to at least
+// `workers` entries. Called sequentially before a (possibly parallel)
+// growth pass; workers then index m.growScr by worker id only.
+func (m *Miner) ensureGrowScratch(workers int) {
+	for len(m.growScr) < workers {
+		m.growScr = append(m.growScr, new(growScratch))
+	}
+}
 
 // extendAt grows pattern p at boundary vertex b by the maximal frequent
 // leaf multiset, mutating p (graph, embeddings, caches) in place.
 // Returns whether at least one leaf was added.
-func (m *Miner) extendAt(p *pattern.Pattern, b graph.V) bool {
+func (m *Miner) extendAt(p *pattern.Pattern, b graph.V, sc *growScratch) bool {
 	if len(p.Emb) == 0 {
 		return false
 	}
@@ -138,7 +150,6 @@ func (m *Miner) extendAt(p *pattern.Pattern, b graph.V) bool {
 	// grouped by label: host neighbors of the image of b that are outside
 	// the embedding image and form a frequent (head,leaf) spider pair.
 	// Vertex lists inherit the host CSR's ascending order.
-	sc := growPool.Get().(*growScratch)
 	if cap(sc.mark) < m.g.N() {
 		sc.mark = make([]int32, m.g.N())
 		sc.epoch = 0
@@ -180,7 +191,6 @@ func (m *Miner) extendAt(p *pattern.Pattern, b graph.V) bool {
 		}
 		avail[i] = lcs
 	}
-	growPool.Put(sc)
 
 	// Greedy maximal frequent multiset: repeatedly add the label that the
 	// most surviving embeddings can still host; stop when no label keeps

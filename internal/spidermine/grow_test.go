@@ -49,7 +49,7 @@ func TestExtendAtAddsMaximalLeafSet(t *testing.T) {
 	pg := graph.FromEdges([]graph.Label{9, 1}, []graph.Edge{{U: 0, W: 1}})
 	p := pattern.New(pg, []pattern.Embedding{{0, 1}, {5, 6}})
 	p.Origin = 0
-	if !m.extendAt(p, 0) {
+	if !m.extendAt(p, 0, new(growScratch)) {
 		t.Fatal("no extension at the head")
 	}
 	// The head's maximal frequent extension adds leaves 2 and 3.
@@ -76,7 +76,7 @@ func TestExtendAtRespectsDiameterBound(t *testing.T) {
 	pg := graph.FromEdges([]graph.Label{9, 3, 4}, []graph.Edge{{U: 0, W: 1}, {U: 1, W: 2}})
 	p := pattern.New(pg, []pattern.Embedding{{0, 3, 4}, {5, 8, 9}})
 	p.Origin = 0
-	if m.extendAt(p, 0) {
+	if m.extendAt(p, 0, new(growScratch)) {
 		t.Fatalf("extension at head should be blocked by Dmax=2 (got diam %d)", p.G.Diameter())
 	}
 }
@@ -89,7 +89,7 @@ func TestExtendAtNoFrequentPair(t *testing.T) {
 	pg := graph.FromEdges([]graph.Label{9, 1}, []graph.Edge{{U: 0, W: 1}})
 	p := pattern.New(pg, []pattern.Embedding{{0, 1}, {5, 6}})
 	p.Origin = 0
-	m.extendAt(p, 0)
+	m.extendAt(p, 0, new(growScratch))
 	for v := 0; v < p.NV(); v++ {
 		if p.G.Label(graph.V(v)) == 2 {
 			t.Fatal("extension used a non-frequent spider pair")
@@ -103,7 +103,7 @@ func TestExtendAtInsufficientSupport(t *testing.T) {
 	pg := graph.FromEdges([]graph.Label{9, 1}, []graph.Edge{{U: 0, W: 1}})
 	p := pattern.New(pg, []pattern.Embedding{{0, 1}, {5, 6}})
 	p.Origin = 0
-	if m.extendAt(p, 0) {
+	if m.extendAt(p, 0, new(growScratch)) {
 		t.Fatal("extension above support threshold")
 	}
 }
@@ -179,7 +179,7 @@ func TestBoundaryGrowthIncreasesRadius(t *testing.T) {
 	p := pattern.New(pg, []pattern.Embedding{{0, 3}, {5, 8}})
 	p.Origin = 0
 	w := &grown{p: p, radius: 1}
-	if !m.growPattern(w) {
+	if !m.growPattern(w, new(growScratch)) {
 		t.Fatal("no growth")
 	}
 	if w.radius != 2 {

@@ -50,7 +50,6 @@ func (m *Miner) checkMerges(ws []*grown) []*grown {
 	}
 	// Collect overlapping (pattern, pattern) pairs with their embedding
 	// pairs, deduplicated.
-	type pairKey struct{ a, b int }
 	pairs := make(map[pairKey]map[embPair]struct{})
 	for _, hv := range touched {
 		slots := usage[hv]
@@ -96,23 +95,31 @@ func (m *Miner) checkMerges(ws []*grown) []*grown {
 
 	consumed := make([]bool, len(ws))
 	var merged []*grown
-	for _, pk := range keys {
-		if consumed[pk.a] || consumed[pk.b] {
-			continue
-		}
-		wa, wb := ws[pk.a], ws[pk.b]
-		mp := m.tryMerge(wa.p, wb.p, pairs[pk])
-		if mp == nil {
-			continue
-		}
+	// apply is the ordered reduction step shared by the sequential and
+	// parallel paths: accept a merge, number it, and retire its parents.
+	apply := func(pk pairKey, mp *pattern.Pattern) {
+		mp.ID = m.newID()
 		consumed[pk.a] = true
 		consumed[pk.b] = true
 		m.stats.Merges++
-		radius := wa.radius
-		if wb.radius > radius {
-			radius = wb.radius
+		radius := ws[pk.a].radius
+		if r := ws[pk.b].radius; r > radius {
+			radius = r
 		}
 		merged = append(merged, &grown{p: mp, radius: radius})
+	}
+	if workers := m.workerCount(len(keys)); workers > 1 {
+		m.mergeParallel(ws, keys, pairs, workers, consumed, apply)
+	} else {
+		for _, pk := range keys {
+			if consumed[pk.a] || consumed[pk.b] {
+				continue
+			}
+			mp := m.tryMerge(ws[pk.a].p, ws[pk.b].p, pairs[pk], &m.stats.IsoRun)
+			if mp != nil {
+				apply(pk, mp)
+			}
+		}
 	}
 	if len(merged) == 0 {
 		return ws
@@ -133,14 +140,23 @@ type usageSlot struct {
 	emb int // embedding index
 }
 
+// pairKey identifies an unordered pair of working patterns (a < b, both
+// indices into ws) during a merge round.
+type pairKey struct{ a, b int }
+
 // embPair indexes one embedding of each of two patterns being merged.
 type embPair struct{ ea, eb int }
 
 // tryMerge builds union subgraphs for each overlapping embedding pair,
 // buckets them by structure, and if the largest structure class is
-// frequent, returns it as the merged pattern. Returns nil if no frequent
+// frequent, returns it as the merged pattern (ID unassigned — the caller's
+// ordered reduction numbers accepted merges). Returns nil if no frequent
 // merged structure exists.
-func (m *Miner) tryMerge(pa, pb *pattern.Pattern, embPairs map[embPair]struct{}) *pattern.Pattern {
+//
+// tryMerge is read-only on pa, pb, and the Miner, so merge rounds may
+// evaluate many pairs concurrently; isoRun is the caller-owned (per-worker
+// when parallel) isomorphism-test counter.
+func (m *Miner) tryMerge(pa, pb *pattern.Pattern, embPairs map[embPair]struct{}, isoRun *int64) *pattern.Pattern {
 	type bucket struct {
 		repr *graph.Graph // representative pattern graph
 		embs []pattern.Embedding
@@ -200,11 +216,10 @@ func (m *Miner) tryMerge(pa, pb *pattern.Pattern, embPairs map[embPair]struct{})
 				continue
 			}
 			mapping := canon.IsomorphismMapping(ug, bk.repr)
+			*isoRun++
 			if mapping == nil {
-				m.stats.IsoRun++
 				continue
 			}
-			m.stats.IsoRun++
 			// Re-express emb in repr's vertex order: repr vertex i hosts
 			// emb[inverse(i)].
 			re := make(pattern.Embedding, len(emb))
@@ -268,7 +283,6 @@ func (m *Miner) tryMerge(pa, pb *pattern.Pattern, embPairs map[embPair]struct{})
 		return nil
 	}
 	mp := pattern.New(best.repr, best.embs)
-	mp.ID = m.newID()
 	mp.Merged = true
 	mp.Origin = -1 // merged patterns grow from their entire rim
 	return mp

@@ -79,9 +79,15 @@ type Config struct {
 	// combinatorially; trimming makes counted support a lower bound, which
 	// can only lose patterns, never admit false ones.
 	MaxEmbPerPattern int
-	// Workers sets growth parallelism: 0/1 sequential, > 1 that many
-	// goroutines, < 0 GOMAXPROCS. Patterns grow independently, so results
-	// are identical across settings.
+	// Workers sets mining parallelism across all three stages: 0/1
+	// sequential, > 1 that many goroutines, < 0 GOMAXPROCS. Stage I
+	// partitions spider heads across workers, Stage II parallelizes seed
+	// materialization and merge-pair evaluation, Stage III shards pattern
+	// growth; every stage reduces its per-worker results in a fixed item
+	// order, so the Result is bit-identical for any setting (see
+	// TestParallelEqualsSequential). Only Stats counters that track work
+	// performed (IsoRun) may differ, because parallel merge rounds evaluate
+	// candidate pairs speculatively.
 	Workers int
 }
 
@@ -132,7 +138,7 @@ type Stats struct {
 	GrowIterations int           // total SpiderGrow iterations
 	Merges         int           // successful CheckMerge events
 	IsoSkipped     int64         // isomorphism tests skipped by spider-set pruning
-	IsoRun         int64         // exact isomorphism tests executed
+	IsoRun         int64         // exact isomorphism tests executed (work counter; may grow with Workers > 1 — parallel merge rounds evaluate pairs speculatively)
 	StageI         time.Duration // spider mining time
 	StageII        time.Duration // growth + merge time
 	StageIII       time.Duration // recovery time
@@ -170,8 +176,13 @@ type Miner struct {
 	// trees holds the r-spider seed population when cfg.Radius >= 2.
 	trees []*spider.MinedTree
 	// mergeUsage is checkMerges' per-host-vertex overlap index, reused
-	// across rounds (truncated, never reallocated).
+	// across rounds (truncated, never reallocated). Overlap detection runs
+	// sequentially; only pair evaluation is sharded.
 	mergeUsage [][]usageSlot
+	// growScr holds one extension scratch per worker, sized by
+	// ensureGrowScratch before each growth pass; worker i owns growScr[i]
+	// for the duration of the pass.
+	growScr []*growScratch
 }
 
 // New prepares a Miner for the host graph.

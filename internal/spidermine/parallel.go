@@ -1,50 +1,100 @@
 package spidermine
 
 import (
-	"runtime"
-	"sync"
+	"repro/internal/par"
+	"repro/internal/pattern"
 )
 
+// This file is the miner's worker-sharding layer. Every parallel stage
+// follows the same ownership discipline (documented in doc.go and
+// ROADMAP.md):
+//
+//   - shared-immutable: the host graph (its label index builds lazily
+//     behind a sync.Once), the frequent-pair table, the spider catalog,
+//     and cfg — workers only read these;
+//   - per-worker scratch: one growScratch (ensureGrowScratch), one
+//     canon.Matcher / spider.Materializer where matching is needed, and
+//     worker-indexed accumulator slots — never shared, never locked;
+//   - ordered reduction: results land in item-indexed slots (par.Map) and
+//     all cross-worker combination happens afterwards in item order, so
+//     output is bit-identical to the sequential engine for any worker
+//     count. Completion order and map iteration order must never reach a
+//     result.
+
+// workerCount resolves cfg.Workers against an item count: never more
+// workers than items, never fewer than one.
+func (m *Miner) workerCount(items int) int {
+	return par.Bound(items, m.cfg.Workers)
+}
+
 // growAllParallel runs one SpiderGrow iteration over the working set with
-// a bounded worker pool. Each pattern is grown independently — growPattern
-// only mutates its own *grown and reads shared immutable state (host
-// graph, frequent-pair table) — so the result is identical to the
-// sequential pass regardless of scheduling.
+// a bounded worker pool (workers > 1, resolved by the caller). Each
+// pattern is grown independently — growPattern mutates only its own
+// *grown, using the worker's scratch — so the result is identical to the
+// sequential pass regardless of scheduling. Progress flags are
+// worker-indexed and reduced after the join.
 func (m *Miner) growAllParallel(ws []*grown, workers int) bool {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > len(ws) {
-		workers = len(ws)
-	}
-	var (
-		wg  sync.WaitGroup
-		mu  sync.Mutex
-		any bool
-	)
-	work := make(chan *grown, workers)
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for w := range work {
-				if m.growPattern(w) {
-					mu.Lock()
-					any = true
-					mu.Unlock()
-				} else {
-					w.done = true
-				}
-			}
-		}()
-	}
-	for _, w := range ws {
+	m.ensureGrowScratch(workers)
+	anyByWorker := make([]bool, workers)
+	par.Do(len(ws), workers, func(wk, i int) {
+		w := ws[i]
 		if w.done {
-			continue
+			return
 		}
-		work <- w
+		if m.growPattern(w, m.growScr[wk]) {
+			anyByWorker[wk] = true
+		} else {
+			w.done = true
+		}
+	})
+	for _, a := range anyByWorker {
+		if a {
+			return true
+		}
 	}
-	close(work)
-	wg.Wait()
-	return any
+	return false
+}
+
+// mergeParallel evaluates merge-candidate pairs with a worker pool in
+// bounded batched waves, reducing each wave in sorted key order via apply.
+// tryMerge is read-only on the working patterns, so the pairs of one wave
+// evaluate concurrently; speculation is bounded to the wave, because only
+// pairs whose endpoints are unconsumed when the wave is gathered enter it.
+// A wave member whose endpoint an earlier (in key order) wave-mate
+// consumed is discarded during the reduction — exactly the pairs the
+// sequential engine would have skipped — so the accepted merges, their
+// IDs, and their order are identical for any worker count. Only the
+// speculative-work counter (Stats.IsoRun) can exceed the sequential run's.
+func (m *Miner) mergeParallel(ws []*grown, keys []pairKey, pairs map[pairKey]map[embPair]struct{}, workers int, consumed []bool, apply func(pairKey, *pattern.Pattern)) {
+	batchCap := workers
+	isoRuns := make([]int64, workers)
+	batch := make([]pairKey, 0, batchCap)
+	results := make([]*pattern.Pattern, batchCap)
+	pos := 0
+	for pos < len(keys) {
+		batch = batch[:0]
+		for pos < len(keys) && len(batch) < batchCap {
+			pk := keys[pos]
+			pos++
+			if consumed[pk.a] || consumed[pk.b] {
+				continue
+			}
+			batch = append(batch, pk)
+		}
+		par.Do(len(batch), workers, func(wk, i int) {
+			pk := batch[i]
+			results[i] = m.tryMerge(ws[pk.a].p, ws[pk.b].p, pairs[pk], &isoRuns[wk])
+		})
+		for i, pk := range batch {
+			if consumed[pk.a] || consumed[pk.b] {
+				continue
+			}
+			if mp := results[i]; mp != nil {
+				apply(pk, mp)
+			}
+		}
+	}
+	for _, n := range isoRuns {
+		m.stats.IsoRun += n
+	}
 }

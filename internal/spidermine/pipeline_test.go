@@ -25,7 +25,7 @@ func TestPipelineStages(t *testing.T) {
 	}
 	M := spider.ComputeM(g.N(), g.N()/10, 10, 0.1)
 	t.Logf("M=%d", M)
-	seeds := spider.RandomSeed(g, m.catalog, M, 8, m.rng)
+	seeds := spider.RandomSeed(g, m.catalog, M, 8, m.rng, 0)
 	t.Logf("seeds=%d", len(seeds))
 	working := make([]*grown, 0, len(seeds))
 	for _, p := range seeds {

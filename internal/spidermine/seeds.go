@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/canon"
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/pattern"
 	"repro/internal/spider"
 )
@@ -15,18 +16,26 @@ import (
 // afterwards proceeds in radius-1 steps (SpiderGrow with r=1 stars), so
 // the radius only affects Stage I cost and seed shape — mirroring the
 // paper's finding that r=1 or 2 is the right trade-off (Appendix C(3)).
+//
+// The random draw itself is sequential (it consumes the run's rng);
+// materialization — the expensive anchored matching — shards across
+// workers, each owning one Matcher, with results reduced in draw order.
 func (m *Miner) seedPatterns(M int, trees []*spider.MinedTree, rng *rand.Rand) []*pattern.Pattern {
 	if m.cfg.Radius <= 1 || len(trees) == 0 {
-		return spider.RandomSeed(m.g, m.catalog, M, m.cfg.PerHostCap, rng)
+		return spider.RandomSeed(m.g, m.catalog, M, m.cfg.PerHostCap, rng, m.cfg.Workers)
 	}
 	if M > len(trees) {
 		M = len(trees)
 	}
 	idx := rng.Perm(len(trees))[:M]
+	workers := m.workerCount(len(idx))
+	matchers := make([]canon.Matcher, workers) // one search state per worker
+	drawn := par.Map(len(idx), workers, func(wk, i int) *pattern.Pattern {
+		return materializeTree(&matchers[wk], m.g, trees[idx[i]], m.cfg.PerHostCap)
+	})
 	out := make([]*pattern.Pattern, 0, M)
-	var matcher canon.Matcher // one search state for the whole draw
-	for _, ti := range idx {
-		if p := materializeTree(&matcher, m.g, trees[ti], m.cfg.PerHostCap); p != nil {
+	for _, p := range drawn {
+		if p != nil {
 			out = append(out, p)
 		}
 	}
