@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +28,7 @@ func main() {
 		quick   = flag.Bool("quick", false, "shrink workloads for a fast pass")
 		seed    = flag.Int64("seed", 1, "random seed (runs are deterministic per seed)")
 		workers = flag.Int("workers", 0, "mining parallelism: 0/1 sequential, N goroutines, -1 all CPUs (mined patterns are identical across settings; stats columns may differ)")
+		timeout = flag.Duration("timeout", 0, "wall-clock budget for the whole invocation; exceeding it renders partial tables and exits non-zero (0 = no limit)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		verify  = flag.Bool("verify", false, "check every paper claim against regenerated artifacts")
 	)
@@ -38,6 +41,11 @@ func main() {
 		return
 	}
 	params := experiments.Params{Seed: *seed, Quick: *quick, Workers: *workers}
+	ctx, cancel := context.Background(), context.CancelFunc(func() {})
+	if *timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+	}
+	defer cancel()
 	if *verify {
 		lines, failures := experiments.VerifyAll(params)
 		for _, l := range lines {
@@ -56,10 +64,10 @@ func main() {
 			if id == "fig12" || id == "fig17" {
 				continue // aliases of fig11/fig13
 			}
-			runOne(id, params)
+			runOne(ctx, id, params)
 		}
 	case *expID != "":
-		runOne(*expID, params)
+		runOne(ctx, *expID, params)
 	default:
 		fmt.Fprintln(os.Stderr, "spiderbench: need -experiment <id>, -all, or -list")
 		flag.Usage()
@@ -67,13 +75,21 @@ func main() {
 	}
 }
 
-func runOne(id string, params experiments.Params) {
+func runOne(ctx context.Context, id string, params experiments.Params) {
 	t0 := time.Now()
-	rep, err := experiments.Run(id, params)
+	rep, err := experiments.RunContext(ctx, id, params)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "spiderbench: timeout exceeded before %s could run\n", id)
+			os.Exit(1)
+		}
 		fmt.Fprintf(os.Stderr, "spiderbench: %v\n", err)
 		os.Exit(1)
 	}
 	rep.Render(os.Stdout)
 	fmt.Printf("(%s finished in %v)\n\n", id, time.Since(t0).Round(time.Millisecond))
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "spiderbench: timeout exceeded; tables above may be partial\n")
+		os.Exit(1)
+	}
 }

@@ -1,28 +1,37 @@
-// Command spidermine mines the top-K largest frequent patterns of a graph
-// in LG format (see internal/graph.ReadLG for the format).
+// Command spidermine mines frequent patterns of a graph in LG format
+// (see ReadLG for the format) with any registered miner — SpiderMine by
+// default, or any baseline via -miner.
 //
 // Usage:
 //
 //	spidermine -in graph.lg -k 10 -support 2 -dmax 6 -epsilon 0.1
+//	spidermine -in graph.lg -miner subdue -support 3
+//	spidermine -in graph.lg -timeout 30s        # exit 1 if exceeded
+//	spidermine -list-miners
 //
 // Each returned pattern is printed as an LG block plus a summary line; add
-// -stats for mining statistics.
+// -stats for mining statistics. A run that exceeds -timeout exits
+// non-zero after printing the deterministic partial results mined so far.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
-	"repro/internal/graph"
-	"repro/internal/spidermine"
-	"repro/internal/support"
+	"repro/mine"
 )
 
 func main() {
 	var (
 		in         = flag.String("in", "", "input graph file in LG format (required; - for stdin)")
+		minerName  = flag.String("miner", "spidermine", "mining engine (see -list-miners)")
+		listMiners = flag.Bool("list-miners", false, "list registered miners and exit")
+		timeout    = flag.Duration("timeout", 0, "abort mining after this long and exit non-zero (0 = no limit)")
 		k          = flag.Int("k", 10, "number of patterns K")
 		sup        = flag.Int("support", 2, "support threshold σ")
 		dmax       = flag.Int("dmax", 6, "pattern diameter bound Dmax")
@@ -32,30 +41,39 @@ func main() {
 		workers    = flag.Int("workers", 0, "mining parallelism: 0/1 sequential, N goroutines, -1 all CPUs (mined patterns are identical across settings; -stats work counters may differ)")
 		maxLeaves  = flag.Int("max-leaves", 0, "cap star-spider leaves in Stage I (0 = unlimited; bound this on scale-free graphs)")
 		maxSpiders = flag.Int("max-spiders", 0, "cap Stage I spider enumeration (0 = unlimited; bound this on scale-free graphs)")
-		measure    = flag.String("measure", "all", "reported support measure: all | disjoint | harmful")
+		maxPat     = flag.Int("max-patterns", 0, "cap reported patterns (0 = unlimited)")
+		measure    = flag.String("measure", "all", "support measure: all | disjoint | harmful")
 		stats      = flag.Bool("stats", false, "print mining statistics")
+		progress   = flag.Bool("progress", false, "stream per-stage progress to stderr")
 		asDOT      = flag.Bool("dot", false, "emit patterns as Graphviz DOT instead of LG")
 		asJSON     = flag.Bool("json", false, "emit patterns as a JSON array")
 	)
 	flag.Parse()
+	if *listMiners {
+		for _, name := range mine.Names() {
+			m, _ := mine.Get(name)
+			fmt.Printf("%-12s %s\n", name, m.Describe())
+		}
+		return
+	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "spidermine: -in is required")
 		flag.Usage()
 		os.Exit(2)
 	}
 	var (
-		g    *graph.Graph
+		g    *mine.Graph
 		name string
 		err  error
 	)
 	if *in == "-" {
-		g, name, err = graph.ReadLG(os.Stdin)
+		g, name, err = mine.ReadLG(os.Stdin)
 	} else {
 		f, ferr := os.Open(*in)
 		if ferr != nil {
 			fatal(ferr)
 		}
-		g, name, err = graph.ReadLG(f)
+		g, name, err = mine.ReadLG(f)
 		f.Close()
 	}
 	if err != nil {
@@ -64,55 +82,84 @@ func main() {
 	if name == "" {
 		name = *in
 	}
-	fmt.Printf("mining %s: %v\n", name, g)
+	fmt.Printf("mining %s with %s: %v\n", name, *minerName, g)
 
-	var m support.Measure
-	switch *measure {
-	case "all":
-		m = support.CountAll
-	case "disjoint":
-		m = support.EdgeDisjoint
-	case "harmful":
-		m = support.HarmfulOverlap
-	default:
-		fatal(fmt.Errorf("unknown -measure %q", *measure))
+	engine, err := mine.Get(*minerName)
+	if err != nil {
+		fatal(err)
 	}
-	res := spidermine.Mine(g, spidermine.Config{
+	opts := mine.Options{
 		MinSupport:       *sup,
 		K:                *k,
 		Dmax:             *dmax,
 		Epsilon:          *epsilon,
 		Vmin:             *vmin,
 		Seed:             *seed,
-		Measure:          m,
+		Measure:          mine.Measure(*measure),
 		Workers:          *workers,
 		MaxLeavesPerStar: *maxLeaves,
 		MaxSpiders:       *maxSpiders,
-	})
-	if *asJSON {
+		MaxPatterns:      *maxPat,
+	}
+	if *progress {
+		opts.OnProgress = func(ev mine.ProgressEvent) {
+			fmt.Fprintf(os.Stderr, "[%8.3fs] %s/%s restart=%d iter=%d patterns=%d merges=%d\n",
+				ev.Elapsed.Seconds(), ev.Miner, ev.Stage, ev.Restart, ev.Iteration, ev.Patterns, ev.Merges)
+		}
+	}
+	ctx, cancel := context.Background(), context.CancelFunc(func() {})
+	if *timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+	}
+	defer cancel()
+
+	res, err := engine.Mine(ctx, mine.SingleGraph(g), opts)
+	deadlined := err != nil && errors.Is(err, context.DeadlineExceeded)
+	if err != nil && !deadlined {
+		fatal(err)
+	}
+	printPatterns(res, *asJSON, *asDOT)
+	if *stats {
+		printStats(res)
+	}
+	if deadlined {
+		fmt.Fprintf(os.Stderr, "spidermine: timeout %v exceeded; printed the partial results committed before the deadline\n", *timeout)
+		os.Exit(1)
+	}
+}
+
+func printPatterns(res *mine.Result, asJSON, asDOT bool) {
+	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res.Patterns); err != nil {
 			fatal(err)
 		}
-	} else {
-		for i, p := range res.Patterns {
-			fmt.Printf("\n# pattern %d: |V|=%d |E|=%d diam=%d embeddings=%d %s-support=%d\n",
-				i+1, p.NV(), p.Size(), p.G.Diameter(), len(p.Emb), m, support.OfPattern(p, m))
-			var err error
-			if *asDOT {
-				err = p.G.WriteDOT(os.Stdout, fmt.Sprintf("pattern-%d", i+1))
-			} else {
-				err = p.G.WriteLG(os.Stdout, fmt.Sprintf("pattern-%d", i+1))
-			}
-			if err != nil {
-				fatal(err)
-			}
+		return
+	}
+	for i, p := range res.Patterns {
+		fmt.Printf("\n# pattern %d: |V|=%d |E|=%d diam=%d embeddings=%d\n",
+			i+1, p.NV(), p.Size(), p.G.Diameter(), len(p.Emb))
+		var err error
+		if asDOT {
+			err = p.G.WriteDOT(os.Stdout, fmt.Sprintf("pattern-%d", i+1))
+		} else {
+			err = p.G.WriteLG(os.Stdout, fmt.Sprintf("pattern-%d", i+1))
+		}
+		if err != nil {
+			fatal(err)
 		}
 	}
-	if *stats {
-		fmt.Printf("\n%v\n", res.Stats)
+}
+
+func printStats(res *mine.Result) {
+	s := res.Stats
+	fmt.Printf("\nstats{miner=%s patterns=%d spiders=%d M=%d iters=%d merges=%d isoSkip=%d isoRun=%d elapsed=%v",
+		res.Miner, len(res.Patterns), s.Spiders, s.SeedDraws, s.GrowIterations, s.Merges, s.IsoSkipped, s.IsoRun, s.Elapsed.Round(time.Millisecond))
+	for _, st := range s.Stages {
+		fmt.Printf(" t[%s]=%v", st.Name, st.Duration.Round(time.Millisecond))
 	}
+	fmt.Printf(" truncated=%q}\n", string(res.Truncated))
 }
 
 func fatal(err error) {

@@ -2,13 +2,61 @@
 // Structural Patterns in a Massive Network" (Zhu, Qu, Lo, Yan, Han, Yu;
 // PVLDB 4(11), 2011) — the SpiderMine algorithm, every baseline it is
 // evaluated against (SUBDUE, SEuS, MoSS/gSpan-style complete mining,
-// ORIGAMI), the synthetic workload generators of the evaluation, and a
-// harness that regenerates every table and figure.
+// ORIGAMI, plus a GREW-style extension), the synthetic workload
+// generators of the evaluation, and a harness that regenerates every
+// table and figure.
 //
 // Start with README.md for the layout, DESIGN.md for the system inventory
 // and per-experiment index, and EXPERIMENTS.md for paper-vs-measured
 // results. The root package contains only the benchmark harness
-// (bench_test.go); the implementation lives under internal/.
+// (bench_test.go); the implementation lives under internal/, and the
+// public surface is the mine package.
+//
+// # API layer: the mine façade
+//
+// Package mine is the single public entry point: a string-keyed registry
+// of engines behind one interface,
+//
+//	Mine(ctx context.Context, host mine.Host, opts mine.Options) (*mine.Result, error)
+//
+// Six miners register at init — "spidermine" and the five baselines —
+// and each serves both host settings (a single massive network, or a
+// graph-transaction database mined via its disjoint union). Options
+// carries the support threshold, top-K semantics, worker count, and three
+// budgets (MaxPatterns, MaxWallClock, MaxEmbeddings); Result carries
+// patterns, uniform Stats, and a Truncation reason. Budget exhaustion is
+// a truncated Result, not an error; caller-context cancellation is an
+// error plus deterministic committed partials. Both CLIs (cmd/spidermine
+// -miner/-timeout, cmd/spiderbench -timeout), all examples/*, and the
+// experiment suite's cross-miner comparison ("miners") go through this
+// façade; new serving surfaces must too.
+//
+// # Cancellation architecture
+//
+// context.Context threads from the façade through every mining layer down
+// to the worker-pool substrate (internal/par), under two invariants:
+//
+//   - Zero cost when uncancellable: every check is gated on
+//     ctx.Done() != nil, so a Background run executes the exact
+//     pre-context code path — byte-identical results, no hot-path cost
+//     (the matcher stays 0 allocs/op; sequential stage benchmarks are
+//     unchanged). Checks are amortized: internal/par polls every
+//     seqCheckStride items sequentially and reads one watcher-set atomic
+//     flag per item claim in parallel mode; the mining stages check at
+//     pattern / merge-key / iteration granularity.
+//   - Deterministic partials when cancelled: SpiderMine commits its
+//     reduced working set at every grow+merge and recovery iteration
+//     boundary (shallow pattern snapshots, taken only when the context is
+//     cancellable); an iteration aborted mid-flight rolls back wholesale,
+//     and the run returns ctx.Err() plus the committed patterns (σ- and
+//     Dmax-filtered, size-ordered, *without* the exact-isomorphism dedupe
+//     — worst-case exponential on unpruned hub patterns — so the return
+//     is prompt). Cancellation observed at a given boundary therefore
+//     yields byte-identical partial results; progress callbacks run
+//     synchronously between parallel sections, so a callback-pinned
+//     cancel is deterministic end to end (TestCancelDeterministic,
+//     TestFacadeCancelDeterministic). Baselines return their loop-boundary
+//     partials the same way.
 //
 // # Performance architecture
 //
@@ -52,7 +100,9 @@
 //     behind a sync.Once, so first use may happen on any worker), the
 //     frequent-pair table, the spider catalog, and the run Config are only
 //     read by workers. Randomness is drawn on the coordinating goroutine
-//     before any fan-out — workers never touch the rng.
+//     before any fan-out — workers never touch the rng (and rng streams
+//     are consumed in full before any cancellable section, so a cancelled
+//     run leaves the stream where an uncancelled one would).
 //   - Per-worker scratch: each worker owns its canon.Matcher,
 //     spider.Materializer, grow scratch, and accumulator slot; package
 //     sync.Pools (BFS buffers, pooled matchers) remain as race-free

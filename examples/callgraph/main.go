@@ -1,29 +1,35 @@
 // Software-backbone mining (the paper's Jeti scenario, §C.2): mine large
-// call-graph patterns labeled by declaring class; repeated large motifs
-// expose library-usage backbones and cohesion/coupling smells.
+// call-graph patterns labeled by declaring class through the public mine
+// façade; repeated large motifs expose library-usage backbones and
+// cohesion/coupling smells.
 //
 // Run with: go run ./examples/callgraph
 package main
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
-	"repro/internal/gen"
-	"repro/internal/graph"
-	"repro/internal/spidermine"
-	"repro/internal/support"
+	"repro/mine"
 )
 
 func main() {
-	g, motifs := gen.CallGraphLike(gen.CallGraphConfig{Seed: 11})
+	g, motifs := mine.CallGraphLike(mine.CallGraphConfig{Seed: 11})
 	fmt.Printf("call graph: %v (max degree %d, avg %.2f)\n", g, g.MaxDegree(), g.AvgDegree())
 	fmt.Printf("planted library-usage motifs: %d\n\n", len(motifs))
 
-	res := spidermine.Mine(g, spidermine.Config{
+	miner, err := mine.Get("spidermine")
+	if err != nil {
+		panic(err)
+	}
+	res, err := miner.Mine(context.Background(), mine.SingleGraph(g), mine.Options{
 		MinSupport: 10, K: 10, Dmax: 8, Epsilon: 0.1, Seed: 11,
-		Measure: support.HarmfulOverlap,
+		Measure: mine.MeasureHarmful,
 	})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("SpiderMine top call patterns (σ=10):\n")
 	for i, p := range res.Patterns {
 		if i >= 5 {
@@ -44,14 +50,14 @@ func main() {
 }
 
 type classCount struct {
-	label graph.Label
+	label mine.Label
 	n     int
 }
 
-func classCounts(g *graph.Graph) []classCount {
-	m := map[graph.Label]int{}
+func classCounts(g *mine.Graph) []classCount {
+	m := map[mine.Label]int{}
 	for v := 0; v < g.N(); v++ {
-		m[g.Label(graph.V(v))]++
+		m[g.Label(mine.V(v))]++
 	}
 	out := make([]classCount, 0, len(m))
 	for l, n := range m {
@@ -61,7 +67,7 @@ func classCounts(g *graph.Graph) []classCount {
 	return out
 }
 
-func classList(g *graph.Graph) string {
+func classList(g *mine.Graph) string {
 	cs := classCounts(g)
 	s := ""
 	for i, c := range cs {

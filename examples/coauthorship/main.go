@@ -1,23 +1,22 @@
 // Co-authorship analysis (the paper's DBLP scenario, §C.2): mine large
 // collaborative patterns from a co-authorship network whose authors carry
-// seniority labels, and contrast with what SUBDUE finds.
+// seniority labels, and contrast with what SUBDUE finds — both engines
+// invoked through the public mine façade.
 //
 // Run with: go run ./examples/coauthorship
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/gen"
-	"repro/internal/miner/subdue"
-	"repro/internal/spidermine"
-	"repro/internal/support"
+	"repro/mine"
 )
 
-var seniority = map[int32]string{0: "Prolific", 1: "Senior", 2: "Junior", 3: "Beginner"}
+var seniority = map[mine.Label]string{0: "Prolific", 1: "Senior", 2: "Junior", 3: "Beginner"}
 
 func main() {
-	g, injected := gen.DBLPLike(gen.DBLPConfig{
+	g, injected := mine.DBLPLike(mine.DBLPConfig{
 		Authors: 2000, // scaled-down network; Scale=1 in the benches
 		Seed:    7,
 	})
@@ -28,21 +27,30 @@ func main() {
 	}
 	fmt.Println(")")
 
-	res := spidermine.Mine(g, spidermine.Config{
+	ctx := context.Background()
+	host := mine.SingleGraph(g)
+	sm, err := mine.Get("spidermine")
+	if err != nil {
+		panic(err)
+	}
+	res, err := sm.Mine(ctx, host, mine.Options{
 		MinSupport: 4, K: 10, Dmax: 6, Epsilon: 0.1, Seed: 7,
-		Measure: support.HarmfulOverlap, // overlapping embeddings are rife with 4 labels
+		Measure: mine.MeasureHarmful, // overlapping embeddings are rife with 4 labels
 	})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("\nSpiderMine top collaborative patterns (σ=4, K=10):\n")
 	for i, p := range res.Patterns {
 		if i >= 5 {
 			break
 		}
-		counts := map[int32]int{}
+		counts := map[mine.Label]int{}
 		for v := 0; v < p.NV(); v++ {
-			counts[int32(p.G.Label(int32(v)))]++
+			counts[p.G.Label(mine.V(v))]++
 		}
 		fmt.Printf("  #%d: %2d authors, %2d collaborations, %d groups —", i+1, p.NV(), p.Size(), len(p.Emb))
-		for l := int32(0); l < 4; l++ {
+		for l := mine.Label(0); l < 4; l++ {
 			if counts[l] > 0 {
 				fmt.Printf(" %d %s", counts[l], seniority[l])
 			}
@@ -51,10 +59,17 @@ func main() {
 	}
 
 	fmt.Printf("\nSUBDUE on the same network (for contrast):\n")
-	sd := subdue.Mine(g, subdue.Config{MinSupport: 4, MaxBest: 5})
-	for i, s := range sd {
+	sd, err := mine.Get("subdue")
+	if err != nil {
+		panic(err)
+	}
+	sdRes, err := sd.Mine(ctx, host, mine.Options{MinSupport: 4, MaxPatterns: 5})
+	if err != nil {
+		panic(err)
+	}
+	for i, p := range sdRes.Patterns {
 		fmt.Printf("  #%d: %2d authors, %2d collaborations, %d instances\n",
-			i+1, s.P.NV(), s.P.Size(), s.Instances)
+			i+1, p.NV(), p.Size(), len(p.Emb))
 	}
 	fmt.Println("\nAs in the paper: only the large patterns distinguish research communities;")
 	fmt.Println("small patterns (several authors on one paper) are ubiquitous and uninformative.")

@@ -2,44 +2,45 @@
 // graphs with edge labels"): a chemistry-flavored demo where bond types
 // (single/double) are edge labels. Each labeled edge is subdivided by a
 // midpoint vertex carrying the bond label; SpiderMine runs on the encoded
-// graph; results decode back to edge-labeled patterns.
+// graph through the public mine façade; results decode back to
+// edge-labeled patterns.
 //
 // Run with: go run ./examples/edgelabeled
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
-	"repro/internal/graph"
-	"repro/internal/spidermine"
+	"repro/mine"
 )
 
 // atom labels
 const (
-	C graph.Label = 0 // carbon
-	O graph.Label = 1 // oxygen
-	N graph.Label = 2 // nitrogen
+	C mine.Label = 0 // carbon
+	O mine.Label = 1 // oxygen
+	N mine.Label = 2 // nitrogen
 )
 
 // bond labels
 const (
-	single graph.Label = 0
-	double graph.Label = 1
+	single mine.Label = 0
+	double mine.Label = 1
 )
 
 func main() {
 	var (
-		labels  []graph.Label
-		edges   []graph.Edge
-		elabels []graph.Label
+		labels  []mine.Label
+		edges   []mine.Edge
+		elabels []mine.Label
 	)
-	addAtom := func(l graph.Label) graph.V {
+	addAtom := func(l mine.Label) mine.V {
 		labels = append(labels, l)
-		return graph.V(len(labels) - 1)
+		return mine.V(len(labels) - 1)
 	}
-	addBond := func(u, w graph.V, bond graph.Label) {
-		edges = append(edges, graph.Edge{U: u, W: w})
+	addBond := func(u, w mine.V, bond mine.Label) {
+		edges = append(edges, mine.Edge{U: u, W: w})
 		elabels = append(elabels, bond)
 	}
 	// Plant 3 copies of a carboxyl-like motif: C(=O)-O with an N attached
@@ -56,24 +57,31 @@ func main() {
 	// Random molecular noise.
 	rng := rand.New(rand.NewSource(4))
 	for i := 0; i < 20; i++ {
-		a := addAtom(graph.Label(rng.Intn(3)))
-		b := addAtom(graph.Label(rng.Intn(3)))
-		addBond(a, b, graph.Label(rng.Intn(2)))
+		a := addAtom(mine.Label(rng.Intn(3)))
+		b := addAtom(mine.Label(rng.Intn(3)))
+		addBond(a, b, mine.Label(rng.Intn(2)))
 	}
-	enc, err := graph.EncodeEdgeLabels(labels, edges, elabels, 0)
+	enc, err := mine.EncodeEdgeLabels(labels, edges, elabels, 0)
 	if err != nil {
 		panic(err)
 	}
 	fmt.Printf("encoded molecule graph: %v (distances doubled by subdivision)\n\n", enc)
 
+	miner, err := mine.Get("spidermine")
+	if err != nil {
+		panic(err)
+	}
 	// Dmax doubles under the encoding: the motif has diameter 2, so 4.
-	res := spidermine.Mine(enc, spidermine.Config{
+	res, err := miner.Mine(context.Background(), mine.SingleGraph(enc), mine.Options{
 		MinSupport: 3, K: 3, Dmax: 4, Seed: 1,
 	})
-	bondName := map[graph.Label]string{single: "-", double: "="}
-	atomName := map[graph.Label]string{C: "C", O: "O", N: "N"}
+	if err != nil {
+		panic(err)
+	}
+	bondName := map[mine.Label]string{single: "-", double: "="}
+	atomName := map[mine.Label]string{C: "C", O: "O", N: "N"}
 	for i, p := range res.Patterns {
-		vl, de, dangling, err := graph.DecodeEdgeLabels(p.G, 0)
+		vl, de, dangling, err := mine.DecodeEdgeLabels(p.G, 0)
 		if err != nil {
 			fmt.Printf("pattern %d does not decode (%v), skipping\n", i+1, err)
 			continue

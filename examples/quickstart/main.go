@@ -1,24 +1,24 @@
 // Quickstart: build a small labeled network, mine its top-K largest
-// frequent patterns with SpiderMine, and print them.
+// frequent patterns through the public mine façade, and print them.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
-	"repro/internal/graph"
-	"repro/internal/spidermine"
+	"repro/mine"
 )
 
 func main() {
 	// A toy "social network": two copies of a 6-person community motif
 	// (labels: 0=organizer, 1=member) wired into background chatter.
-	b := graph.NewBuilder(32, 64)
-	motif := func() graph.V {
+	b := mine.NewGraphBuilder(32, 64)
+	motif := func() mine.V {
 		org := b.AddVertex(0)
-		var members []graph.V
+		var members []mine.V
 		for i := 0; i < 5; i++ {
 			m := b.AddVertex(1)
 			b.AddEdge(org, m)
@@ -31,9 +31,9 @@ func main() {
 	c1 := motif()
 	c2 := motif()
 	// background users and edges
-	var bg []graph.V
+	var bg []mine.V
 	for i := 0; i < 12; i++ {
-		bg = append(bg, b.AddVertex(graph.Label(2+i%3)))
+		bg = append(bg, b.AddVertex(mine.Label(2+i%3)))
 	}
 	for i := 0; i+1 < len(bg); i += 2 {
 		b.AddEdge(bg[i], bg[i+1])
@@ -43,14 +43,22 @@ func main() {
 	g := b.Build()
 
 	fmt.Printf("input: %v\n\n", g)
-	res := spidermine.Mine(g, spidermine.Config{
+	miner, err := mine.Get("spidermine")
+	if err != nil {
+		panic(err)
+	}
+	res, err := miner.Mine(context.Background(), mine.SingleGraph(g), mine.Options{
 		MinSupport: 2, // pattern must occur at least twice
 		K:          3,
 		Dmax:       4,
 		Epsilon:    0.1,
 		Seed:       1,
 	})
-	fmt.Printf("mined %d patterns (stats: %v)\n", len(res.Patterns), res.Stats)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("mined %d patterns in %v (%d spiders, %d merges)\n",
+		len(res.Patterns), res.Stats.Elapsed, res.Stats.Spiders, res.Stats.Merges)
 	for i, p := range res.Patterns {
 		fmt.Printf("\n-- pattern %d: %d vertices, %d edges, %d embeddings --\n",
 			i+1, p.NV(), p.Size(), len(p.Emb))

@@ -1,48 +1,51 @@
 // Graph-transaction mining (§5.1.2): run SpiderMine's transaction
-// adaptation against ORIGAMI on a database of graphs sharing large
-// injected patterns, and watch ORIGAMI lose the large patterns once many
-// small patterns are added — the Fig. 14 vs Fig. 15 contrast.
+// adaptation against ORIGAMI — both through the public mine façade, on
+// the same Host — on a database of graphs sharing large injected
+// patterns, and watch ORIGAMI lose the large patterns once many small
+// patterns are added: the Fig. 14 vs Fig. 15 contrast.
 //
 // Run with: go run ./examples/transactions
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/gen"
-	"repro/internal/miner/origami"
-	"repro/internal/spidermine"
-	"repro/internal/txdb"
+	"repro/mine"
 )
 
 func main() {
+	ctx := context.Background()
 	for _, smallN := range []int{0, 100} {
-		db, _ := txdb.SyntheticTx(txdb.SyntheticTxConfig{
+		db, _ := mine.SyntheticTx(mine.SyntheticTxConfig{
 			NumGraphs: 10,
 			N:         200,
 			AvgDeg:    5,
 			NumLabels: 65,
-			Large:     gen.InjectSpec{NV: 30, Count: 5, Support: 1},
-			Small:     gen.InjectSpec{NV: 5, Count: smallN, Support: 1},
+			Large:     mine.InjectSpec{NV: 30, Count: 5, Support: 1},
+			Small:     mine.InjectSpec{NV: 5, Count: smallN, Support: 1},
 			Seed:      3,
 		})
 		fmt.Printf("=== database: 10 graphs, %d injected small patterns ===\n", smallN)
 
-		sm := spidermine.MineTransactions(db, spidermine.Config{
-			MinSupport: 5, K: 10, Dmax: 6, Seed: 3,
-		})
-		fmt.Printf("SpiderMine sizes: ")
-		for _, p := range sm.Patterns {
-			fmt.Printf("%d ", p.NV())
+		host := mine.Transactions(db)
+		for _, name := range []string{"spidermine", "origami"} {
+			m, err := mine.Get(name)
+			if err != nil {
+				panic(err)
+			}
+			res, err := m.Mine(ctx, host, mine.Options{
+				MinSupport: 5, K: 10, Dmax: 6, Seed: 3,
+			})
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("%-10s sizes: ", name)
+			for _, p := range res.Patterns {
+				fmt.Printf("%d ", p.NV())
+			}
+			fmt.Println()
 		}
-		fmt.Println()
-
-		or := origami.Mine(db, origami.Config{MinSupport: 5, Samples: 40, Seed: 3})
-		fmt.Printf("ORIGAMI sizes:    ")
-		for _, r := range or {
-			fmt.Printf("%d ", r.P.NV())
-		}
-		fmt.Println()
 		fmt.Println()
 	}
 	fmt.Println("expected: with 100 small patterns, ORIGAMI's walks get absorbed by small")

@@ -60,7 +60,7 @@ func AppC4(epsilons []float64, seed int64, scale float64) *Report {
 	}
 	for _, eps := range epsilons {
 		t0 := time.Now()
-		res := spidermine.Mine(g, spidermine.Config{
+		res := mineSM(g, spidermine.Config{
 			MinSupport: sigma, K: 10, Dmax: 8, Epsilon: eps, Seed: seed,
 			Measure: support.HarmfulOverlap, Workers: MiningWorkers(),
 		})
@@ -117,7 +117,7 @@ func Ablations(seed int64) *Report {
 	}
 	run := func(name string, cfg spidermine.Config) {
 		t0 := time.Now()
-		res := spidermine.Mine(g, cfg)
+		res := mineSM(g, cfg)
 		el := time.Since(t0)
 		top := 0
 		if len(res.Patterns) > 0 {

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -136,4 +138,50 @@ func atoiOr(s string) int {
 		n = n*10 + int(c-'0')
 	}
 	return n
+}
+
+func TestMinersFacadeExperiment(t *testing.T) {
+	rep, err := Run("miners", Params{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) < 6 {
+		t.Fatalf("miners report has %d rows, want one per registered miner (>= 6)", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row[1] == "-" || row[1] == "0" {
+			t.Errorf("miner %s returned no patterns through the façade (row %v)", row[0], row)
+		}
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, "lemma2", Params{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The global mining context must reset to Background afterwards.
+	if MiningContext().Err() != nil {
+		t.Fatal("MiningContext left cancelled after RunContext returned")
+	}
+}
+
+// TestRunContextLiveContext: RunContext with a real (cancellable,
+// non-Background) context must work — regression for the
+// atomic.Value "inconsistently typed" panic when different context
+// implementations pass through the runCtx global.
+func TestRunContextLiveContext(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	if _, err := RunContext(ctx, "lemma2", Params{}); err != nil {
+		t.Fatal(err)
+	}
+	// And back-to-back with a plain Run (Background), both directions.
+	if _, err := Run("lemma2", Params{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunContext(ctx, "lemma2", Params{}); err != nil {
+		t.Fatal(err)
+	}
 }

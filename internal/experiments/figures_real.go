@@ -20,7 +20,7 @@ func Fig20(seed int64, scale float64) *Report {
 		Authors: scaled(6508, scale),
 		Seed:    seed,
 	})
-	smRes := spidermine.Mine(g, spidermine.Config{MinSupport: 4, K: 20, Dmax: 6, Seed: seed,
+	smRes := mineSM(g, spidermine.Config{MinSupport: 4, K: 20, Dmax: 6, Seed: seed,
 		Measure: support.HarmfulOverlap, Workers: MiningWorkers()})
 	smHist := SizeHistogram(smRes.Patterns)
 
@@ -51,7 +51,7 @@ func Fig20(seed int64, scale float64) *Report {
 // motifs keep fitting the smaller graph.
 func Fig21(seed int64, scale float64) *Report {
 	g, sigma := callGraphFor(seed, scale)
-	smRes := spidermine.Mine(g, spidermine.Config{MinSupport: sigma, K: 10, Dmax: 8, Seed: seed,
+	smRes := mineSM(g, spidermine.Config{MinSupport: sigma, K: 10, Dmax: 8, Seed: seed,
 		Measure: support.HarmfulOverlap, Workers: MiningWorkers()})
 	smHist := SizeHistogram(smRes.Patterns)
 

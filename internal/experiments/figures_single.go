@@ -26,7 +26,7 @@ func randFor(seed, variant int64) *rand.Rand {
 // Dmax=4) against SUBDUE and SEuS.
 func Fig4to8(gid int, seed int64) *Report {
 	g, _ := gen.Synthetic(gen.GIDConfig(gid, seed))
-	smRes := spidermine.Mine(g, spidermine.Config{MinSupport: 2, K: 10, Dmax: 4, Epsilon: 0.1, Seed: seed, Workers: MiningWorkers()})
+	smRes := mineSM(g, spidermine.Config{MinSupport: 2, K: 10, Dmax: 4, Epsilon: 0.1, Seed: seed, Workers: MiningWorkers()})
 	smHist := SizeHistogram(smRes.Patterns)
 
 	sd := subdue.Mine(g, subdue.Config{MinSupport: 2})
@@ -71,10 +71,10 @@ func Fig9(sizes []int, seed int64, mossTimeout time.Duration) *Report {
 			Small: gen.InjectSpec{NV: 3, Count: 3, Support: 2}}
 		g, _ := gen.Synthetic(cfg)
 		t0 := time.Now()
-		spidermine.Mine(g, spidermine.Config{MinSupport: 2, K: 10, Dmax: 4, Seed: seed, Workers: MiningWorkers()})
+		mineSM(g, spidermine.Config{MinSupport: 2, K: 10, Dmax: 4, Seed: seed, Workers: MiningWorkers()})
 		smT := time.Since(t0)
 		t1 := time.Now()
-		mr := moss.Mine(g, moss.Config{MinSupport: 2, Timeout: mossTimeout})
+		mr := mineMoSS(g, moss.Config{MinSupport: 2, Timeout: mossTimeout})
 		moT := time.Since(t1)
 		rep.Rows = append(rep.Rows, []string{
 			itoa(n), smT.String(), moT.String(), fmt.Sprintf("%v", mr.Completed)})
@@ -94,7 +94,7 @@ func Fig10(sizes []int, seed int64) *Report {
 	for _, n := range sizes {
 		g := genScaleGraph(n, seed)
 		t0 := time.Now()
-		spidermine.Mine(g, scaleMineConfig(seed))
+		mineSM(g, scaleMineConfig(seed))
 		smT := time.Since(t0)
 		t1 := time.Now()
 		subdue.Mine(g, subdue.Config{MinSupport: 2})
@@ -157,7 +157,7 @@ func Fig11and12(sizes []int, seed int64) *Report {
 	for _, n := range sizes {
 		g := genScaleGraph(n, seed)
 		t0 := time.Now()
-		res := spidermine.Mine(g, scaleMineConfig(seed))
+		res := mineSM(g, scaleMineConfig(seed))
 		el := time.Since(t0)
 		lv, le := 0, 0
 		if len(res.Patterns) > 0 {
@@ -182,7 +182,7 @@ func Fig13and17(sizes []int, seed int64) *Report {
 		rng := randFor(seed, int64(n))
 		g := gen.BarabasiAlbert(n, 2, 100, rng)
 		t0 := time.Now()
-		res := spidermine.Mine(g, spidermine.Config{MinSupport: 2, K: 10, Dmax: 6, Seed: seed,
+		res := mineSM(g, spidermine.Config{MinSupport: 2, K: 10, Dmax: 6, Seed: seed,
 			MaxLeavesPerStar: 8, MaxSpiders: 1_000_000,
 			Measure: support.HarmfulOverlap, Workers: scaleWorkers()})
 		el := time.Since(t0)
@@ -208,7 +208,7 @@ func Fig16(seed int64, mossTimeout time.Duration) *Report {
 	for gid := 1; gid <= 5; gid++ {
 		g, _ := gen.Synthetic(gen.GIDConfig(gid, seed))
 		t0 := time.Now()
-		spidermine.Mine(g, spidermine.Config{MinSupport: 2, K: 10, Dmax: 4, Seed: seed, Workers: MiningWorkers()})
+		mineSM(g, spidermine.Config{MinSupport: 2, K: 10, Dmax: 4, Seed: seed, Workers: MiningWorkers()})
 		smT := time.Since(t0)
 		t1 := time.Now()
 		subdue.Mine(g, subdue.Config{MinSupport: 2})
@@ -216,7 +216,7 @@ func Fig16(seed int64, mossTimeout time.Duration) *Report {
 		t2 := time.Now()
 		seus.Mine(g, seus.Config{MinSupport: 2})
 		seT := time.Since(t2)
-		mr := moss.Mine(g, moss.Config{MinSupport: 2, Timeout: mossTimeout})
+		mr := mineMoSS(g, moss.Config{MinSupport: 2, Timeout: mossTimeout})
 		moCell := mr.Elapsed.String()
 		if !mr.Completed {
 			moCell = "-" // aborted, like the paper's 10-hour cutoff
@@ -247,7 +247,7 @@ func Fig18(seed int64, scale float64) *Report {
 		cfg.Small.Count = scaled(cfg.Small.Count, scale)
 		g, _ := gen.Synthetic(cfg)
 		t0 := time.Now()
-		res := spidermine.Mine(g, spidermine.Config{MinSupport: 10, K: 5, Dmax: 6, Seed: seed, Workers: MiningWorkers()})
+		res := mineSM(g, spidermine.Config{MinSupport: 10, K: 5, Dmax: 6, Seed: seed, Workers: MiningWorkers()})
 		el := time.Since(t0)
 		row := []string{itoa(gid)}
 		for i := 0; i < 5; i++ {
@@ -278,7 +278,7 @@ func Fig19(ds []int, seed int64, scale float64) *Report {
 		Header: []string{"d=Dmax/2", "top1", "top2", "top3", "top4", "top5"},
 	}
 	for _, d := range ds {
-		res := spidermine.Mine(g, spidermine.Config{MinSupport: 10, K: 5, Dmax: 2 * d, Seed: seed, Workers: MiningWorkers()})
+		res := mineSM(g, spidermine.Config{MinSupport: 10, K: 5, Dmax: 2 * d, Seed: seed, Workers: MiningWorkers()})
 		row := []string{itoa(d)}
 		for i := 0; i < 5; i++ {
 			if i < len(res.Patterns) {

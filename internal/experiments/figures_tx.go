@@ -70,7 +70,7 @@ func txCompare(id, title string, cfg TxConfig, note string) *Report {
 		Small:     gen.InjectSpec{NV: 5, Count: cfg.SmallN, Support: 1},
 		Seed:      cfg.Seed,
 	})
-	smRes := spidermine.MineTransactions(db, spidermine.Config{
+	smRes := mineSMTx(db, spidermine.Config{
 		MinSupport: cfg.NumGraphs / 2, K: 10, Dmax: 6, Seed: cfg.Seed,
 		Workers: MiningWorkers(),
 		// Transaction merging needs the same union structure at σ distinct

@@ -32,7 +32,7 @@ func GrewComparison(seed int64) *Report {
 		rep.Rows = append(rep.Rows, []string{"GREW", grT.String(), "-", "-", "-"})
 	}
 	t1 := time.Now()
-	sm := spidermine.Mine(g, spidermine.Config{MinSupport: 2, K: 10, Dmax: 4, Seed: seed, Workers: MiningWorkers()})
+	sm := mineSM(g, spidermine.Config{MinSupport: 2, K: 10, Dmax: 4, Seed: seed, Workers: MiningWorkers()})
 	smT := time.Since(t1)
 	if len(sm.Patterns) > 0 {
 		p := sm.Patterns[0]

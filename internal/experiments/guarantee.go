@@ -15,7 +15,7 @@ import (
 // only on small graphs, which is precisely why SpiderMine exists. Returns
 // the sizes (edge counts) of the top-K patterns, descending.
 func ExactTopK(g *graph.Graph, sigma, k, dmax int) []int {
-	res := moss.Mine(g, moss.Config{MinSupport: sigma})
+	res := mineMoSS(g, moss.Config{MinSupport: sigma})
 	var sizes []int
 	for _, p := range res.Patterns {
 		if p.G.Diameter() <= dmax {
@@ -58,7 +58,7 @@ func GuaranteeCheck(trials int, epsilon float64, seed int64) ([]GuaranteeTrial, 
 	var out []GuaranteeTrial
 	successes := 0
 	for t := 0; t < trials; t++ {
-		res := spidermine.Mine(g, spidermine.Config{
+		res := mineSM(g, spidermine.Config{
 			MinSupport: sigma, K: k, Dmax: dmax, Epsilon: epsilon,
 			Seed: seed*1000 + int64(t), Workers: MiningWorkers(),
 		})

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -32,6 +33,26 @@ func SetMiningWorkers(n int) { miningWorkers.Store(int32(n)) }
 
 // MiningWorkers reports the current experiment parallelism setting.
 func MiningWorkers() int { return int(miningWorkers.Load()) }
+
+// runCtx is the context experiment drivers mine under, following the same
+// process-global pattern as miningWorkers (the drivers predate
+// Params-threading). RunContext stores the caller's ctx here for the
+// duration of one experiment; drivers fetch it via MiningContext. The
+// box keeps atomic.Value's concrete type constant — storing bare
+// contexts would panic as soon as two different context implementations
+// (timerCtx, backgroundCtx, ...) pass through.
+var runCtx atomic.Value // of ctxBox
+
+type ctxBox struct{ ctx context.Context }
+
+// MiningContext returns the context the current experiment run should
+// mine under: the ctx passed to RunContext, or context.Background().
+func MiningContext() context.Context {
+	if b, ok := runCtx.Load().(ctxBox); ok && b.ctx != nil {
+		return b.ctx
+	}
+	return context.Background()
+}
 
 // scaleWorkers is MiningWorkers with an all-CPUs default: the large-scale
 // sweeps (fig13/fig17-class Stage I workloads) always ran on every core
@@ -141,6 +162,7 @@ func registryEntries() map[string]Runner {
 			return rep
 		},
 		"ablations": func(p Params) *Report { return Ablations(p.Seed) },
+		"miners":    MinersComparison,
 	}
 }
 
@@ -161,12 +183,24 @@ func IDs() []string {
 	return out
 }
 
-// Run executes one experiment by id.
+// Run executes one experiment by id without cancellation.
 func Run(id string, p Params) (*Report, error) {
+	return RunContext(context.Background(), id, p)
+}
+
+// RunContext executes one experiment by id under ctx. The context is
+// published to the drivers through MiningContext for the duration of the
+// run; a fired ctx before the run starts short-circuits with ctx.Err().
+func RunContext(ctx context.Context, id string, p Params) (*Report, error) {
 	r, ok := Registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	SetMiningWorkers(p.Workers)
+	runCtx.Store(ctxBox{ctx})
+	defer runCtx.Store(ctxBox{context.Background()})
 	return r(p), nil
 }

@@ -9,6 +9,7 @@
 package grew
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/canon"
@@ -56,7 +57,18 @@ type instance struct {
 // Mine runs the iterative contraction and returns the discovered patterns
 // (kinds with >= σ instances), largest-first.
 func Mine(g *graph.Graph, cfg Config) []Result {
+	out, _ := MineContext(context.Background(), g, cfg)
+	return out
+}
+
+// MineContext is Mine with cooperative cancellation, observed between
+// contraction rounds. The instance partition is consistent at every round
+// boundary, so a cancelled run harvests the patterns of the rounds that
+// completed — a deterministic partial result for a cancellation observed
+// at a given round — and returns them with ctx.Err().
+func MineContext(ctx context.Context, g *graph.Graph, cfg Config) ([]Result, error) {
 	cfg = cfg.withDefaults()
+	var ctxErr error
 
 	owner := make([]int, g.N()) // vertex -> instance index
 	instances := make([]*instance, g.N())
@@ -66,6 +78,10 @@ func Mine(g *graph.Graph, cfg Config) []Result {
 	}
 
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			ctxErr = err
+			break
+		}
 		// Count connection types between distinct instances.
 		type connKey struct{ a, b uint64 }
 		conns := make(map[connKey][]graph.Edge)
@@ -188,7 +204,7 @@ func Mine(g *graph.Graph, cfg Config) []Result {
 		}
 		return out[i].Instances > out[j].Instances
 	})
-	return out
+	return out, ctxErr
 }
 
 func labelKind(l graph.Label) uint64 {

@@ -10,6 +10,7 @@
 package moss
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/graph"
@@ -63,6 +64,15 @@ type Result struct {
 // Mine enumerates all frequent patterns of g level-by-level (pattern size
 // in edges).
 func Mine(g *graph.Graph, cfg Config) *Result {
+	res, _ := MineContext(context.Background(), g, cfg)
+	return res
+}
+
+// MineContext is Mine with cooperative cancellation, observed once per
+// frontier pattern (the same granularity as the Timeout check). A
+// cancelled run returns the frequent-pattern prefix enumerated so far
+// with Completed=false, plus ctx.Err().
+func MineContext(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	start := time.Now()
 	deadline := time.Time{}
@@ -89,16 +99,22 @@ func Mine(g *graph.Graph, cfg Config) *Result {
 	for len(frontier) > 0 {
 		var next []*pattern.Pattern
 		for _, p := range frontier {
+			if err := ctx.Err(); err != nil {
+				res.Completed = false
+				res.Elapsed = time.Since(start)
+				res.Patterns = append(res.Patterns, next...)
+				return res, err
+			}
 			if !deadline.IsZero() && time.Now().After(deadline) {
 				res.Completed = false
 				res.Elapsed = time.Since(start)
-				return res
+				return res, nil
 			}
 			if len(res.Patterns)+len(next) >= cfg.MaxPatterns {
 				res.Completed = false
 				res.Elapsed = time.Since(start)
 				res.Patterns = append(res.Patterns, next...)
-				return res
+				return res, nil
 			}
 			if cfg.MaxEdges > 0 && p.Size() >= cfg.MaxEdges {
 				continue
@@ -117,7 +133,7 @@ func Mine(g *graph.Graph, cfg Config) *Result {
 		frontier = next
 	}
 	res.Elapsed = time.Since(start)
-	return res
+	return res, nil
 }
 
 func dedupeAgainst(have, candidates []*pattern.Pattern) []*pattern.Pattern {

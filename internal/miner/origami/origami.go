@@ -10,6 +10,7 @@
 package origami
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
@@ -71,26 +72,66 @@ type Result struct {
 // Mine samples maximal patterns from the database and returns the
 // α-orthogonal representative set, largest-first.
 func Mine(db *txdb.DB, cfg Config) []Result {
-	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	out, _ := MineContext(context.Background(), db, cfg)
+	return out
+}
+
+// MineContext is Mine with cooperative cancellation, observed between
+// sampling walks: a cancelled run selects representatives from the walks
+// that completed and returns them with ctx.Err().
+func MineContext(ctx context.Context, db *txdb.DB, cfg Config) ([]Result, error) {
 	union, txOf := db.Union()
 	supFn := func(embs []pattern.Embedding) int {
 		return support.TransactionSupport(embs, txOf)
 	}
+	return mineOn(ctx, union, supFn, cfg)
+}
+
+// MineGraph runs the ORIGAMI sampler in the single-graph setting: walks
+// sample maximal frequent patterns of g directly, and support is the raw
+// distinct-embedding count (the transaction measure degenerates to 0/1 on
+// one graph).
+func MineGraph(g *graph.Graph, cfg Config) []Result {
+	out, _ := MineGraphContext(context.Background(), g, cfg)
+	return out
+}
+
+// MineGraphContext is MineGraph with cooperative cancellation, under the
+// same partial-result contract as MineContext.
+func MineGraphContext(ctx context.Context, g *graph.Graph, cfg Config) ([]Result, error) {
+	supFn := func(embs []pattern.Embedding) int { return len(embs) }
+	return mineOn(ctx, g, supFn, cfg)
+}
+
+// mineOn is the sampler core shared by the transaction and single-graph
+// settings: union is the graph the walks explore, supFn the σ-comparable
+// support of an embedding list.
+func mineOn(ctx context.Context, union *graph.Graph, supFn func([]pattern.Embedding) int, cfg Config) ([]Result, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
 	lim := miner.Limits{MaxEmbPerPattern: cfg.MaxEmbPerPattern}
+	var ctxErr error
 
 	seeds := miner.SingleEdgeSeeds(union, cfg.MinSupport, lim, supFn)
 	if len(seeds) == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 
 	var maximal []*pattern.Pattern
 	for s := 0; s < cfg.Samples; s++ {
+		if err := ctx.Err(); err != nil {
+			ctxErr = err
+			break
+		}
 		p := seeds[rng.Intn(len(seeds))]
 		// Random walk: pick uniformly among frequent one-edge extensions
-		// until none remain (a maximal frequent pattern).
+		// until none remain (a maximal frequent pattern). The per-step
+		// check matters for cancellation latency: one Extensions call on a
+		// large pattern costs far more than a whole small walk, so a walk
+		// cut short mid-flight still enters the sample (not maximal, but
+		// frequent — and deterministic for a fixed cancellation boundary).
 		cur := pattern.New(p.G, append([]pattern.Embedding(nil), p.Emb...))
-		for cur.Size() < cfg.MaxEdges {
+		for cur.Size() < cfg.MaxEdges && ctx.Err() == nil {
 			exts := miner.Extensions(union, cur, cfg.MinSupport, lim, supFn)
 			if len(exts) == 0 {
 				break
@@ -124,7 +165,7 @@ func Mine(db *txdb.DB, cfg Config) []Result {
 	for _, p := range chosen {
 		out = append(out, Result{P: p, Support: supFn(p.Emb)})
 	}
-	return out
+	return out, ctxErr
 }
 
 // Similarity is the Jaccard similarity of the two graphs' labeled-edge

@@ -8,6 +8,7 @@
 package seus
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/canon"
@@ -82,7 +83,17 @@ func BuildSummary(g *graph.Graph) *Summary {
 // (every candidate edge's summary weight must reach σ — the upper-bound
 // prune) and verifies each against g by embedding counting.
 func Mine(g *graph.Graph, cfg Config) []Result {
+	out, _ := MineContext(context.Background(), g, cfg)
+	return out
+}
+
+// MineContext is Mine with cooperative cancellation, observed per
+// candidate verification (the expensive step — each one is an embedding
+// count against the full graph). A cancelled run returns the structures
+// verified so far with ctx.Err().
+func MineContext(ctx context.Context, g *graph.Graph, cfg Config) ([]Result, error) {
 	cfg = cfg.withDefaults()
+	var ctxErr error
 	sum := BuildSummary(g)
 
 	// Candidate generation: BFS over "summary subgraphs" represented as
@@ -131,9 +142,12 @@ func Mine(g *graph.Graph, cfg Config) []Result {
 		}
 	}
 	for _, c := range frontier {
+		if ctx.Err() != nil {
+			break
+		}
 		verify(c)
 	}
-	for len(frontier) > 0 && generated < cfg.MaxCandidates {
+	for len(frontier) > 0 && generated < cfg.MaxCandidates && ctx.Err() == nil {
 		var next []candidate
 		for _, c := range frontier {
 			if len(c.edges) >= cfg.MaxEdges || generated >= cfg.MaxCandidates {
@@ -169,15 +183,19 @@ func Mine(g *graph.Graph, cfg Config) []Result {
 			}
 		}
 		for _, c := range next {
+			if ctx.Err() != nil {
+				break
+			}
 			verify(c)
 		}
 		frontier = next
 	}
+	ctxErr = ctx.Err()
 	sort.SliceStable(results, func(i, j int) bool {
 		if results[i].P.Size() != results[j].P.Size() {
 			return results[i].P.Size() > results[j].P.Size()
 		}
 		return results[i].Support > results[j].Support
 	})
-	return results
+	return results, ctxErr
 }

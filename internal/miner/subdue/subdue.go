@@ -7,6 +7,7 @@
 package subdue
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -84,12 +85,25 @@ type Scored struct {
 // Mine runs beam search (plus optional compress-and-repeat rounds) and
 // returns the best substructures found, best-first.
 func Mine(g *graph.Graph, cfg Config) []Scored {
+	out, _ := MineContext(context.Background(), g, cfg)
+	return out
+}
+
+// MineContext is Mine with cooperative cancellation, observed between
+// beam-expansion rounds and compress-and-repeat iterations. A cancelled
+// run returns the best substructures scored so far with ctx.Err().
+func MineContext(ctx context.Context, g *graph.Graph, cfg Config) ([]Scored, error) {
 	cfg = cfg.withDefaults()
 	var all []Scored
+	var ctxErr error
 	cur := g
 	for it := 0; it < cfg.Iterations; it++ {
-		best := mineOnce(cur, cfg)
+		best, err := mineOnce(ctx, cur, cfg)
 		all = append(all, best...)
+		if err != nil {
+			ctxErr = err
+			break
+		}
 		if len(best) == 0 || it == cfg.Iterations-1 {
 			break
 		}
@@ -102,10 +116,10 @@ func Mine(g *graph.Graph, cfg Config) []Scored {
 	if len(all) > cfg.MaxBest {
 		all = all[:cfg.MaxBest]
 	}
-	return all
+	return all, ctxErr
 }
 
-func mineOnce(g *graph.Graph, cfg Config) []Scored {
+func mineOnce(ctx context.Context, g *graph.Graph, cfg Config) ([]Scored, error) {
 	lim := miner.Limits{MaxEmbPerPattern: cfg.MaxEmbPerPattern}
 	// SUBDUE counts vertex-disjoint instances ([20] notes both SUBDUE and
 	// GREW admit only vertex-disjoint embeddings).
@@ -143,6 +157,9 @@ func mineOnce(g *graph.Graph, cfg Config) []Scored {
 	}
 	budget := cfg.budgetFor(g)
 	for len(beam) > 0 && budget > 0 {
+		if err := ctx.Err(); err != nil {
+			return best, err
+		}
 		// Keep the beam's top-W patterns by score (beam search).
 		sort.SliceStable(beam, func(i, j int) bool { return beam[i].score > beam[j].score })
 		if len(beam) > cfg.Beam {
@@ -183,7 +200,7 @@ func mineOnce(g *graph.Graph, cfg Config) []Scored {
 		}
 		beam = filtered
 	}
-	return best
+	return best, nil
 }
 
 // compression is the (simplified) MDL value of a substructure: the

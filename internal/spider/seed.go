@@ -1,6 +1,7 @@
 package spider
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -52,27 +53,39 @@ func PSuccess(numVertices, vmin, k, m int) float64 {
 	return math.Pow(1-pfail, float64(k))
 }
 
-// RandomSeed draws up to m distinct spiders uniformly at random from the
-// catalog and materializes each as a seed Pattern with its embeddings in g
-// (up to perHostCap embeddings per hosting head; 0 means DefaultPerHostCap).
-// IDs are assigned 0..len-1 in draw order.
+// RandomSeed is RandomSeedContext without cancellation.
+func RandomSeed(g *graph.Graph, c *Catalog, m int, perHostCap int, rng *rand.Rand, workers int) []*pattern.Pattern {
+	seeds, _ := RandomSeedContext(context.Background(), g, c, m, perHostCap, rng, workers)
+	return seeds
+}
+
+// RandomSeedContext draws up to m distinct spiders uniformly at random
+// from the catalog and materializes each as a seed Pattern with its
+// embeddings in g (up to perHostCap embeddings per hosting head; 0 means
+// DefaultPerHostCap). IDs are assigned 0..len-1 in draw order.
 //
 // The draw consumes rng sequentially; materialization shards across
 // workers (0/1 sequential, < 0 GOMAXPROCS), each worker owning one
 // Materializer. Results land in draw-order slots, so the seed list is
-// identical for any worker count.
-func RandomSeed(g *graph.Graph, c *Catalog, m int, perHostCap int, rng *rand.Rand, workers int) []*pattern.Pattern {
+// identical for any worker count. The rng is consumed in full before any
+// cancellable work, so a cancelled draw (nil result + ctx.Err()) leaves
+// the caller's rng stream exactly where an uncancelled draw would.
+func RandomSeedContext(ctx context.Context, g *graph.Graph, c *Catalog, m int, perHostCap int, rng *rand.Rand, workers int) ([]*pattern.Pattern, error) {
 	if m > c.Len() {
 		m = c.Len()
 	}
 	idx := rng.Perm(c.Len())[:m]
 	wk := par.Bound(len(idx), workers)
 	mats := make([]Materializer, wk) // per-worker enumeration scratch
-	return par.Map(len(idx), wk, func(w, i int) *pattern.Pattern {
+	seeds, err := par.Map(ctx, len(idx), wk, func(w, i int) *pattern.Pattern {
 		p := mats[w].Materialize(g, c.Stars[idx[i]], perHostCap)
 		p.ID = i
 		return p
 	})
+	if err != nil {
+		return nil, err
+	}
+	return seeds, nil
 }
 
 // DefaultPerHostCap bounds how many embeddings are enumerated per hosting

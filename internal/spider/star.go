@@ -11,6 +11,7 @@
 package spider
 
 import (
+	"context"
 	"slices"
 	"strconv"
 
@@ -109,13 +110,25 @@ func DefaultOptions(minSupport int) Options {
 	return Options{MinSupport: minSupport, Radius: 1}
 }
 
-// MineStars enumerates all frequent stars of g level-wise.
+// MineStars enumerates all frequent stars of g level-wise with no
+// cancellation; see MineStarsContext.
+func MineStars(g *graph.Graph, opt Options) []*MinedStar {
+	stars, _ := MineStarsContext(context.Background(), g, opt)
+	return stars
+}
+
+// MineStarsContext enumerates all frequent stars of g level-wise.
 //
 // Level 1 counts single-leaf stars from the edge list. Level k+1 extends
 // each frequent star by one leaf label >= its last leaf (canonical
 // generation order, no duplicates), re-verifying hosts. Hosts are carried
 // level to level so each extension only scans its parent's host list.
-func MineStars(g *graph.Graph, opt Options) []*MinedStar {
+//
+// Cancellation is observed between levels and inside each level's sharded
+// expansion; on ctx expiry the stars of every *completed* level are
+// returned alongside ctx.Err() — levels commit atomically, so the partial
+// catalog is deterministic for a cancellation observed at any given level.
+func MineStarsContext(ctx context.Context, g *graph.Graph, opt Options) ([]*MinedStar, error) {
 	sigma := opt.MinSupport
 	if sigma < 1 {
 		sigma = 1
@@ -131,7 +144,7 @@ func MineStars(g *graph.Graph, opt Options) []*MinedStar {
 	// so each worker writes disjoint nbrLabels slots.
 	nbrLabels := make([][]graph.Label, g.N())
 	chunks := par.Chunks(g.N(), opt.Workers)
-	par.Do(len(chunks), len(chunks), func(_, ci int) {
+	if err := par.Do(ctx, len(chunks), len(chunks), func(_, ci int) {
 		lo, hi := chunks[ci][0], chunks[ci][1]
 		size := 0
 		for v := lo; v < hi; v++ {
@@ -147,7 +160,9 @@ func MineStars(g *graph.Graph, opt Options) []*MinedStar {
 			slices.Sort(ls)
 			nbrLabels[v] = ls
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	countLabel := func(v graph.V, l graph.Label) int {
 		ls := nbrLabels[v]
 		lo, _ := slices.BinarySearch(ls, l)
@@ -166,7 +181,7 @@ func MineStars(g *graph.Graph, opt Options) []*MinedStar {
 	type hostKey struct {
 		head, leaf graph.Label
 	}
-	locals := par.Map(len(chunks), len(chunks), func(_, ci int) map[hostKey][]graph.V {
+	locals, err := par.Map(ctx, len(chunks), len(chunks), func(_, ci int) map[hostKey][]graph.V {
 		local := make(map[hostKey][]graph.V)
 		for v := chunks[ci][0]; v < chunks[ci][1]; v++ {
 			hl := g.Label(graph.V(v))
@@ -181,6 +196,9 @@ func MineStars(g *graph.Graph, opt Options) []*MinedStar {
 		}
 		return local
 	})
+	if err != nil {
+		return nil, err
+	}
 	var lvl1 map[hostKey][]graph.V
 	if len(locals) == 1 {
 		lvl1 = locals[0] // sequential / single-chunk: no copy
@@ -260,7 +278,12 @@ func MineStars(g *graph.Graph, opt Options) []*MinedStar {
 		if opt.MaxSpiders > 0 && len(all) >= opt.MaxSpiders {
 			break
 		}
-		next := expandLevel(frontier, expand, opt.Workers)
+		next, err := expandLevel(ctx, frontier, expand, opt.Workers)
+		if err != nil {
+			// Return only fully committed levels: the partial catalog is
+			// then a deterministic function of how many levels completed.
+			return all, err
+		}
 		// Canonical generation (extend only with labels >= last) guarantees
 		// uniqueness already; sort for determinism.
 		sortMined(next)
@@ -270,7 +293,7 @@ func MineStars(g *graph.Graph, opt Options) []*MinedStar {
 	if opt.MaxSpiders > 0 && len(all) > opt.MaxSpiders {
 		all = all[:opt.MaxSpiders]
 	}
-	return all
+	return all, nil
 }
 
 func sortMined(ms []*MinedStar) {
@@ -280,16 +303,19 @@ func sortMined(ms []*MinedStar) {
 // expandLevel applies expand to every frontier star, optionally with a
 // worker pool. Per-parent outputs land in frontier-order slots and are
 // concatenated in that order, so the result is identical for any worker
-// count.
-func expandLevel(frontier []*MinedStar, expand func(*MinedStar) []*MinedStar, workers int) []*MinedStar {
-	results := par.Map(len(frontier), workers, func(_, i int) []*MinedStar {
+// count. A cancelled expansion discards the whole level.
+func expandLevel(ctx context.Context, frontier []*MinedStar, expand func(*MinedStar) []*MinedStar, workers int) ([]*MinedStar, error) {
+	results, err := par.Map(ctx, len(frontier), workers, func(_, i int) []*MinedStar {
 		return expand(frontier[i])
 	})
+	if err != nil {
+		return nil, err
+	}
 	var next []*MinedStar
 	for _, r := range results {
 		next = append(next, r...)
 	}
-	return next
+	return next, nil
 }
 
 // Catalog indexes mined spiders for the random draw and the per-head

@@ -1,0 +1,121 @@
+package spidermine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+// TestRunContextUncancelledEqualsRun: the cancellation plumbing must be
+// invisible to an uncancelled run — even with a cancellable context (so
+// snapshots and boundary checks are active), the result is byte-identical
+// to the plain Run path.
+func TestRunContextUncancelledEqualsRun(t *testing.T) {
+	g, _ := gen.Synthetic(gen.GIDConfig(1, 42))
+	for _, workers := range []int{1, 2} {
+		cfg := Config{MinSupport: 2, K: 10, Dmax: 4, Seed: 3, Workers: workers}
+		want := fingerprint(t, Mine(g, cfg))
+		ctx, cancel := context.WithCancel(context.Background())
+		res, err := MineContext(ctx, g, cfg)
+		cancel()
+		if err != nil {
+			t.Fatalf("workers=%d: uncancelled MineContext errored: %v", workers, err)
+		}
+		if got := fingerprint(t, res); got != want {
+			t.Errorf("workers=%d: cancellable-but-uncancelled run differs from Run()", workers)
+		}
+	}
+}
+
+// cancelledRun mines the slow BA graph with a cancel pinned to the first
+// Stage II grow+merge iteration boundary (delivered synchronously by the
+// progress callback), returning the partial result, the run error, and
+// how long the miner took to return after cancel() was called.
+func cancelledRun(t *testing.T, workers int) (*Result, error, time.Duration) {
+	t.Helper()
+	g := gen.BarabasiAlbert(500, 3, 25, rand.New(rand.NewSource(11)))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var cancelledAt time.Time
+	cfg := Config{
+		MinSupport: 3, K: 10, Dmax: 4, Seed: 5,
+		MaxLeavesPerStar: 3, MaxSpiders: 20000,
+		Workers: workers,
+		OnProgress: func(ev StageEvent) {
+			if ev.Stage == StageGrowth && ev.Iteration == 1 && cancelledAt.IsZero() {
+				cancelledAt = time.Now()
+				cancel()
+			}
+		},
+	}
+	res, err := MineContext(ctx, g, cfg)
+	ret := time.Now()
+	if cancelledAt.IsZero() {
+		t.Fatal("run finished without reaching a Stage II growth iteration")
+	}
+	return res, err, ret.Sub(cancelledAt)
+}
+
+// TestCancelDeterministic is the cancellation contract's enforcing
+// harness: cancelling mid-Stage-II (pinned to an iteration boundary via
+// the synchronous progress callback) must return promptly with
+// context.Canceled and a non-empty partial result whose fingerprint is
+// byte-identical across runs at fixed workers — the committed state of
+// the boundary the callback observed.
+func TestCancelDeterministic(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		res1, err1, lat1 := cancelledRun(t, workers)
+		if !errors.Is(err1, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err1)
+		}
+		if lat1 > 100*time.Millisecond {
+			t.Errorf("workers=%d: %v from cancel to return, want < 100ms", workers, lat1)
+		}
+		if len(res1.Patterns) == 0 {
+			t.Fatalf("workers=%d: cancelled run returned no partial patterns", workers)
+		}
+		res2, err2, _ := cancelledRun(t, workers)
+		if !errors.Is(err2, context.Canceled) {
+			t.Fatalf("workers=%d: second run err = %v", workers, err2)
+		}
+		if fingerprint(t, res1) != fingerprint(t, res2) {
+			t.Errorf("workers=%d: two identically cancelled runs returned different partial results", workers)
+		}
+	}
+}
+
+// TestCancelBeforeStageI: a context cancelled before mining starts
+// surfaces immediately with an empty (but non-nil) result.
+func TestCancelBeforeStageI(t *testing.T) {
+	g, _ := gen.Synthetic(gen.GIDConfig(1, 42))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := MineContext(ctx, g, Config{MinSupport: 2, K: 5, Dmax: 4, Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("nil result on cancelled run")
+	}
+	if len(res.Patterns) != 0 {
+		t.Fatalf("pre-cancelled run produced %d patterns", len(res.Patterns))
+	}
+}
+
+// TestDeadlineSurfacesDeadlineExceeded: a ctx deadline reports
+// context.DeadlineExceeded through the same path.
+func TestDeadlineSurfacesDeadlineExceeded(t *testing.T) {
+	g := gen.BarabasiAlbert(500, 3, 25, rand.New(rand.NewSource(11)))
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Millisecond)
+	defer cancel()
+	_, err := MineContext(ctx, g, Config{
+		MinSupport: 3, K: 10, Dmax: 4, Seed: 5, MaxLeavesPerStar: 3, MaxSpiders: 20000,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}

@@ -16,7 +16,11 @@ func isoCheck(a, b *pattern.Pattern) bool { return canon.Isomorphic(a.G, b.G) }
 // < 0 for GOMAXPROCS) patterns grow concurrently; results are identical
 // because each pattern is grown independently against shared-immutable
 // state (host graph, frequent-pair table) with worker-owned scratch.
-func (m *Miner) growAll(ws []*grown) bool {
+//
+// On cancellation growAll returns ctx.Err() with the pass partially
+// applied; the caller rolls back to its last committed snapshot. The
+// per-pattern check is skipped entirely for uncancellable runs.
+func (m *Miner) growAll(ws []*grown) (bool, error) {
 	if workers := m.workerCount(len(ws)); workers > 1 {
 		return m.growAllParallel(ws, workers)
 	}
@@ -24,6 +28,11 @@ func (m *Miner) growAll(ws []*grown) bool {
 	sc := m.growScr[0]
 	any := false
 	for _, w := range ws {
+		if m.done != nil {
+			if err := m.cancelled(); err != nil {
+				return any, err
+			}
+		}
 		if w.done {
 			continue
 		}
@@ -33,7 +42,7 @@ func (m *Miner) growAll(ws []*grown) bool {
 			w.done = true
 		}
 	}
-	return any
+	return any, nil
 }
 
 // growPattern performs one radius-increasing growth step (Algorithm 2 +

@@ -120,7 +120,7 @@ func TestCheckMergesMergesOverlapping(t *testing.T) {
 	pb := pattern.New(pgB, []pattern.Embedding{{0, 2}, {5, 7}})
 	pb.ID = 2
 	ws := []*grown{{p: pa, radius: 1}, {p: pb, radius: 1}}
-	out := m.checkMerges(ws)
+	out, _ := m.checkMerges(ws)
 	if len(out) != 1 {
 		t.Fatalf("expected one merged pattern, got %d working patterns", len(out))
 	}
@@ -148,7 +148,7 @@ func TestCheckMergesRejectsInfrequentUnion(t *testing.T) {
 	pgB := graph.FromEdges([]graph.Label{9, 2}, []graph.Edge{{U: 0, W: 1}})
 	pb := pattern.New(pgB, []pattern.Embedding{{0, 2}})
 	ws := []*grown{{p: pa, radius: 1}, {p: pb, radius: 1}}
-	out := m.checkMerges(ws)
+	out, _ := m.checkMerges(ws)
 	if len(out) != 2 {
 		t.Fatalf("infrequent union must not merge; got %d patterns", len(out))
 	}
@@ -167,7 +167,7 @@ func TestCheckMergesNoOverlapNoMerge(t *testing.T) {
 	pgB := graph.FromEdges([]graph.Label{9, 2}, []graph.Edge{{U: 0, W: 1}})
 	pb := pattern.New(pgB, []pattern.Embedding{{5, 7}}) // other site
 	ws := []*grown{{p: pa, radius: 1}, {p: pb, radius: 1}}
-	if out := m.checkMerges(ws); len(out) != 2 {
+	if out, _ := m.checkMerges(ws); len(out) != 2 {
 		t.Fatalf("disjoint patterns merged: %d", len(out))
 	}
 }

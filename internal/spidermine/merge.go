@@ -17,9 +17,14 @@ import (
 // A successful merge removes both parents from the working set and adds the
 // merged pattern, marked Merged for Stage II pruning. The merged pattern's
 // embeddings are the iso-consistent union images.
-func (m *Miner) checkMerges(ws []*grown) []*grown {
+//
+// On cancellation checkMerges returns the input set unchanged together
+// with ctx.Err() (merges already applied this round stay on ws's
+// patterns' wrappers only via the returned slice, which the caller then
+// discards in favor of its committed snapshot).
+func (m *Miner) checkMerges(ws []*grown) ([]*grown, error) {
 	if len(ws) < 2 {
-		return ws
+		return ws, nil
 	}
 	// Overlap detection samples at most mergeScanEmb embeddings per pattern:
 	// merging only needs *one* overlapping pair per site, and the usage
@@ -79,7 +84,7 @@ func (m *Miner) checkMerges(ws []*grown) []*grown {
 		}
 	}
 	if len(pairs) == 0 {
-		return ws
+		return ws, nil
 	}
 	// Deterministic pair order.
 	keys := make([]pairKey, 0, len(pairs))
@@ -109,9 +114,16 @@ func (m *Miner) checkMerges(ws []*grown) []*grown {
 		merged = append(merged, &grown{p: mp, radius: radius})
 	}
 	if workers := m.workerCount(len(keys)); workers > 1 {
-		m.mergeParallel(ws, keys, pairs, workers, consumed, apply)
+		if err := m.mergeParallel(ws, keys, pairs, workers, consumed, apply); err != nil {
+			return ws, err
+		}
 	} else {
 		for _, pk := range keys {
+			if m.done != nil {
+				if err := m.cancelled(); err != nil {
+					return ws, err
+				}
+			}
 			if consumed[pk.a] || consumed[pk.b] {
 				continue
 			}
@@ -122,7 +134,7 @@ func (m *Miner) checkMerges(ws []*grown) []*grown {
 		}
 	}
 	if len(merged) == 0 {
-		return ws
+		return ws, nil
 	}
 	out := make([]*grown, 0, len(ws))
 	for i, w := range ws {
@@ -130,7 +142,7 @@ func (m *Miner) checkMerges(ws []*grown) []*grown {
 			out = append(out, w)
 		}
 	}
-	return append(out, merged...)
+	return append(out, merged...), nil
 }
 
 // usageSlot names one embedding of one working pattern during overlap

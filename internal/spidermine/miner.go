@@ -13,6 +13,7 @@
 package spidermine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -89,6 +90,36 @@ type Config struct {
 	// performed (IsoRun) may differ, because parallel merge rounds evaluate
 	// candidate pairs speculatively.
 	Workers int
+	// OnProgress, when non-nil, receives streaming stage events: Stage I
+	// completion, each restart's seed draw, and every grow+merge /
+	// recovery iteration. Events are delivered synchronously on the
+	// coordinating goroutine between parallel sections — never
+	// concurrently — so a callback may cancel the run's context and the
+	// cancellation is observed at the very next iteration boundary, which
+	// makes the resulting partial Result deterministic (the committed
+	// state the callback just saw). Events never influence mining state.
+	OnProgress func(StageEvent)
+}
+
+// Stage names reported in StageEvent.Stage.
+const (
+	StageSpiders  = "spiders"  // Stage I: frequent r-spider mining done
+	StageSeeds    = "seeds"    // Stage II: seed draw + materialization done
+	StageGrowth   = "growth"   // Stage II: one grow+merge iteration done
+	StageRecovery = "recovery" // Stage III: one maximality iteration done
+	StageDone     = "done"     // final top-K selected
+)
+
+// StageEvent is one streaming progress report from a mining run; see
+// Config.OnProgress for the delivery contract.
+type StageEvent struct {
+	Stage     string        // one of the Stage* constants
+	Restart   int           // randomized restart index (Stages II/III events)
+	Iteration int           // 1-based iteration within the stage
+	Spiders   int           // |S_all| (StageSpiders only)
+	Patterns  int           // current working-set / result size
+	Merges    int           // cumulative successful merges
+	Elapsed   time.Duration // wall-clock since RunContext started
 }
 
 func (c Config) withDefaults(g *graph.Graph) Config {
@@ -165,6 +196,13 @@ type Miner struct {
 	rng    *rand.Rand
 	stats  Stats
 	nextID int
+	// ctx/done carry the run's cancellation signal; set by RunContext.
+	// done is nil for an uncancellable context, which gates every
+	// cancellation check and snapshot off the hot path — a Background run
+	// executes exactly the pre-context code.
+	ctx   context.Context
+	done  <-chan struct{}
+	start time.Time
 	// supFn maps a pattern graph and embedding list to its σ-comparable
 	// support. The single-graph setting applies cfg.Measure; the
 	// transaction adapter counts distinct transaction graphs.
@@ -208,20 +246,79 @@ func Mine(g *graph.Graph, cfg Config) *Result {
 	return New(g, cfg).Run()
 }
 
-// Run executes Algorithm 1.
+// MineContext is Mine with cooperative cancellation; see RunContext for
+// the partial-result contract.
+func MineContext(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
+	return New(g, cfg).RunContext(ctx)
+}
+
+// Run executes Algorithm 1 without cancellation.
 func (m *Miner) Run() *Result {
+	res, _ := m.RunContext(context.Background())
+	return res
+}
+
+// cancelled reports the run's context error once the context has fired.
+// It is a no-op (nil done channel, no select) for uncancellable runs.
+func (m *Miner) cancelled() error {
+	if m.done == nil {
+		return nil
+	}
+	select {
+	case <-m.done:
+		return m.ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// progress delivers one stage event to the configured callback.
+func (m *Miner) progress(ev StageEvent) {
+	if m.cfg.OnProgress == nil {
+		return
+	}
+	ev.Elapsed = time.Since(m.start)
+	m.cfg.OnProgress(ev)
+}
+
+// RunContext executes Algorithm 1 under ctx.
+//
+// An uncancelled run returns a Result byte-identical to Run()'s — the
+// cancellation plumbing is gated off the hot path entirely when
+// ctx.Done() is nil and adds only amortized boundary checks otherwise.
+// When ctx fires, RunContext returns ctx.Err() together with a partial
+// Result holding the top-K selection over the patterns of the last
+// *committed* iteration: every grow+merge and recovery iteration commits
+// its reduced working set before the next cancellation check, and an
+// iteration aborted mid-flight is rolled back wholesale. Cancellation
+// observed at a given iteration boundary therefore yields a deterministic
+// partial result (the fingerprint contract TestCancelDeterministic
+// enforces); which boundary a wall-clock cancel lands on is, of course,
+// timing-dependent.
+func (m *Miner) RunContext(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m.ctx = ctx
+	m.done = ctx.Done()
+	m.start = time.Now()
+
 	// Stage I: mine all r-spiders. Stars always back the growth procedure
 	// (growth proceeds in radius-1 steps); with Radius >= 2, tree spiders
 	// are additionally mined as the seed population — at exponentially
 	// higher Stage I cost, as Appendix C(3) documents.
 	t0 := time.Now()
-	stars := spider.MineStars(m.g, spider.Options{
+	stars, starErr := spider.MineStarsContext(ctx, m.g, spider.Options{
 		MinSupport: m.cfg.MinSupport,
 		MaxLeaves:  m.cfg.MaxLeavesPerStar,
 		Radius:     1,
 		MaxSpiders: m.cfg.MaxSpiders,
 		Workers:    m.cfg.Workers,
 	})
+	if starErr != nil {
+		m.stats.StageI = time.Since(t0)
+		return &Result{Stats: m.stats}, starErr
+	}
 	m.catalog = spider.NewCatalog(stars)
 	m.freqPair = make(map[[2]graph.Label]bool)
 	for _, ms := range stars {
@@ -235,15 +332,21 @@ func (m *Miner) Run() *Result {
 		if maxSpiders <= 0 {
 			maxSpiders = 1 << 20
 		}
-		m.trees = spider.MineTrees(m.g, spider.TreeOptions{
+		var treeErr error
+		m.trees, treeErr = spider.MineTreesContext(ctx, m.g, spider.TreeOptions{
 			MinSupport: m.cfg.MinSupport,
 			Radius:     m.cfg.Radius,
 			MaxFanout:  4,
 			MaxSpiders: maxSpiders,
 		})
 		m.stats.NumSpiders = len(m.trees)
+		if treeErr != nil {
+			m.stats.StageI = time.Since(t0)
+			return &Result{Stats: m.stats}, treeErr
+		}
 	}
 	m.stats.StageI = time.Since(t0)
+	m.progress(StageEvent{Stage: StageSpiders, Spiders: m.stats.NumSpiders})
 
 	// M from Lemma 2 (or override).
 	M := m.cfg.MOverride
@@ -254,17 +357,28 @@ func (m *Miner) Run() *Result {
 
 	var finals []*pattern.Pattern
 	for restart := 0; restart < m.cfg.Restarts; restart++ {
-		finals = append(finals, m.runOnce(M)...)
+		ps, err := m.runOnce(restart, M)
+		finals = append(finals, ps...)
+		if err != nil {
+			return &Result{Patterns: m.selectPartial(finals), Stats: m.stats}, err
+		}
 	}
 	top := m.selectTopK(finals)
-	return &Result{Patterns: top, Stats: m.stats}
+	m.progress(StageEvent{Stage: StageDone, Patterns: len(top), Merges: m.stats.Merges})
+	return &Result{Patterns: top, Stats: m.stats}, nil
 }
 
-// runOnce performs Stages II and III for one random restart.
-func (m *Miner) runOnce(M int) []*pattern.Pattern {
+// runOnce performs Stages II and III for one random restart. On
+// cancellation it returns the patterns of the last committed iteration
+// (see RunContext) together with the context error.
+func (m *Miner) runOnce(restart, M int) ([]*pattern.Pattern, error) {
 	// Stage II: random seeds, ⌈Dmax/2r⌉ growth+merge iterations.
 	t1 := time.Now()
-	seeds := m.seedPatterns(M, m.trees, m.rng)
+	seeds, err := m.seedPatterns(M, m.trees, m.rng)
+	if err != nil {
+		m.stats.StageII += time.Since(t1)
+		return nil, err
+	}
 	working := make([]*grown, 0, len(seeds))
 	for _, p := range seeds {
 		p.ID = m.newID()
@@ -274,11 +388,26 @@ func (m *Miner) runOnce(M int) []*pattern.Pattern {
 		}
 		working = append(working, &grown{p: p, radius: m.cfg.Radius})
 	}
+	m.progress(StageEvent{Stage: StageSeeds, Restart: restart, Patterns: len(working)})
 	iters := (m.cfg.Dmax + 2*m.cfg.Radius - 1) / (2 * m.cfg.Radius) // ⌈Dmax/2r⌉
+	committed := m.commit(working)
 	for i := 0; i < iters; i++ {
-		m.growAll(working)
-		working = m.checkMerges(working)
+		if err := m.cancelled(); err != nil {
+			m.stats.StageII += time.Since(t1)
+			return patternsOf(committed), err
+		}
+		if _, err := m.growAll(working); err != nil {
+			m.stats.StageII += time.Since(t1)
+			return patternsOf(committed), err
+		}
+		working, err = m.checkMerges(working)
+		if err != nil {
+			m.stats.StageII += time.Since(t1)
+			return patternsOf(committed), err
+		}
 		m.stats.GrowIterations++
+		committed = m.commit(working)
+		m.progress(StageEvent{Stage: StageGrowth, Restart: restart, Iteration: i + 1, Patterns: len(working), Merges: m.stats.Merges})
 	}
 	// Prune unmerged patterns (Algorithm 1 line 10).
 	var survivors []*grown
@@ -297,10 +426,25 @@ func (m *Miner) runOnce(M int) []*pattern.Pattern {
 
 	// Stage III: grow to maximality.
 	t2 := time.Now()
+	committed = m.commit(survivors)
 	for iter := 0; iter < m.cfg.MaxGrowIters; iter++ {
-		any := m.growAll(survivors)
-		survivors = m.checkMerges(survivors)
+		if err := m.cancelled(); err != nil {
+			m.stats.StageIII += time.Since(t2)
+			return patternsOf(committed), err
+		}
+		any, err := m.growAll(survivors)
+		if err != nil {
+			m.stats.StageIII += time.Since(t2)
+			return patternsOf(committed), err
+		}
+		survivors, err = m.checkMerges(survivors)
+		if err != nil {
+			m.stats.StageIII += time.Since(t2)
+			return patternsOf(committed), err
+		}
 		m.stats.GrowIterations++
+		committed = m.commit(survivors)
+		m.progress(StageEvent{Stage: StageRecovery, Restart: restart, Iteration: iter + 1, Patterns: len(survivors), Merges: m.stats.Merges})
 		if !any {
 			break
 		}
@@ -309,6 +453,33 @@ func (m *Miner) runOnce(M int) []*pattern.Pattern {
 
 	out := make([]*pattern.Pattern, 0, len(survivors))
 	for _, w := range survivors {
+		out = append(out, w.p)
+	}
+	return out, nil
+}
+
+// commit snapshots the working set at an iteration boundary so a later
+// aborted iteration can be rolled back wholesale: growPattern and
+// tryMerge replace a pattern's graph and embedding list with freshly
+// built values (they never mutate the old ones in place), so a shallow
+// copy of each Pattern struct pins the committed state. For uncancellable
+// runs (nil done channel) commit does nothing and returns nil.
+func (m *Miner) commit(ws []*grown) []*grown {
+	if m.done == nil {
+		return nil
+	}
+	out := make([]*grown, len(ws))
+	for i, w := range ws {
+		p := *w.p
+		out[i] = &grown{p: &p, radius: w.radius, done: w.done}
+	}
+	return out
+}
+
+// patternsOf unwraps a working set into its patterns.
+func patternsOf(ws []*grown) []*pattern.Pattern {
+	out := make([]*pattern.Pattern, 0, len(ws))
+	for _, w := range ws {
 		out = append(out, w.p)
 	}
 	return out
@@ -362,8 +533,44 @@ func (m *Miner) selectTopK(ps []*pattern.Pattern) []*pattern.Pattern {
 			kept = append(kept, p)
 		}
 	}
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i], kept[j]
+	sortBySize(kept)
+	if len(kept) > m.cfg.K {
+		kept = kept[:m.cfg.K]
+	}
+	return kept
+}
+
+// selectPartial assembles a cancelled run's result: selectTopK's σ and
+// Dmax filters and size ordering, but without the structural dedupe —
+// the exact-isomorphism test and its spider-set prune are worst-case
+// exponential on the unpruned hub patterns a cancelled run can hold
+// (CanonicalCode individualization over hundreds of interchangeable
+// leaves), and a cancelled caller is owed a prompt return. Partial
+// results may therefore contain isomorphic duplicates; for a fixed
+// cancellation boundary they are still deterministic.
+func (m *Miner) selectPartial(ps []*pattern.Pattern) []*pattern.Pattern {
+	var kept []*pattern.Pattern
+	for _, p := range ps {
+		if m.supFn(p.G, p.Emb) < m.cfg.MinSupport {
+			continue
+		}
+		if p.G.Diameter() > m.cfg.Dmax {
+			continue
+		}
+		kept = append(kept, p)
+	}
+	sortBySize(kept)
+	if len(kept) > m.cfg.K {
+		kept = kept[:m.cfg.K]
+	}
+	return kept
+}
+
+// sortBySize orders patterns the way results are reported: edge count
+// descending, then vertices, then embeddings, then stable by ID.
+func sortBySize(ps []*pattern.Pattern) {
+	sort.Slice(ps, func(i, j int) bool {
+		a, b := ps[i], ps[j]
 		if a.Size() != b.Size() {
 			return a.Size() > b.Size()
 		}
@@ -375,10 +582,6 @@ func (m *Miner) selectTopK(ps []*pattern.Pattern) []*pattern.Pattern {
 		}
 		return a.ID < b.ID
 	})
-	if len(kept) > m.cfg.K {
-		kept = kept[:m.cfg.K]
-	}
-	return kept
 }
 
 // sameStructure decides pattern identity the way §4.2.2 prescribes: the

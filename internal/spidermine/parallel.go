@@ -32,11 +32,12 @@ func (m *Miner) workerCount(items int) int {
 // pattern is grown independently — growPattern mutates only its own
 // *grown, using the worker's scratch — so the result is identical to the
 // sequential pass regardless of scheduling. Progress flags are
-// worker-indexed and reduced after the join.
-func (m *Miner) growAllParallel(ws []*grown, workers int) bool {
+// worker-indexed and reduced after the join. A cancelled pass surfaces
+// ctx.Err(); the caller rolls back to its last committed snapshot.
+func (m *Miner) growAllParallel(ws []*grown, workers int) (bool, error) {
 	m.ensureGrowScratch(workers)
 	anyByWorker := make([]bool, workers)
-	par.Do(len(ws), workers, func(wk, i int) {
+	if err := par.Do(m.ctx, len(ws), workers, func(wk, i int) {
 		w := ws[i]
 		if w.done {
 			return
@@ -46,13 +47,15 @@ func (m *Miner) growAllParallel(ws []*grown, workers int) bool {
 		} else {
 			w.done = true
 		}
-	})
+	}); err != nil {
+		return false, err
+	}
 	for _, a := range anyByWorker {
 		if a {
-			return true
+			return true, nil
 		}
 	}
-	return false
+	return false, nil
 }
 
 // mergeParallel evaluates merge-candidate pairs with a worker pool in
@@ -65,7 +68,10 @@ func (m *Miner) growAllParallel(ws []*grown, workers int) bool {
 // sequential engine would have skipped — so the accepted merges, their
 // IDs, and their order are identical for any worker count. Only the
 // speculative-work counter (Stats.IsoRun) can exceed the sequential run's.
-func (m *Miner) mergeParallel(ws []*grown, keys []pairKey, pairs map[pairKey]map[embPair]struct{}, workers int, consumed []bool, apply func(pairKey, *pattern.Pattern)) {
+// mergeParallel returns ctx.Err() if a wave is cancelled mid-evaluation;
+// waves already reduced stay applied, the cancelled wave is discarded, and
+// the caller's caller rolls back to its last committed snapshot.
+func (m *Miner) mergeParallel(ws []*grown, keys []pairKey, pairs map[pairKey]map[embPair]struct{}, workers int, consumed []bool, apply func(pairKey, *pattern.Pattern)) error {
 	batchCap := workers
 	isoRuns := make([]int64, workers)
 	batch := make([]pairKey, 0, batchCap)
@@ -81,10 +87,15 @@ func (m *Miner) mergeParallel(ws []*grown, keys []pairKey, pairs map[pairKey]map
 			}
 			batch = append(batch, pk)
 		}
-		par.Do(len(batch), workers, func(wk, i int) {
+		if err := par.Do(m.ctx, len(batch), workers, func(wk, i int) {
 			pk := batch[i]
 			results[i] = m.tryMerge(ws[pk.a].p, ws[pk.b].p, pairs[pk], &isoRuns[wk])
-		})
+		}); err != nil {
+			for _, n := range isoRuns {
+				m.stats.IsoRun += n
+			}
+			return err
+		}
 		for i, pk := range batch {
 			if consumed[pk.a] || consumed[pk.b] {
 				continue
@@ -97,4 +108,5 @@ func (m *Miner) mergeParallel(ws []*grown, keys []pairKey, pairs map[pairKey]map
 	for _, n := range isoRuns {
 		m.stats.IsoRun += n
 	}
+	return nil
 }

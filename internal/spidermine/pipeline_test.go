@@ -36,9 +36,9 @@ func TestPipelineStages(t *testing.T) {
 	}
 	t.Logf("working after support filter: %d", len(working))
 	for i := 0; i < 2; i++ {
-		any := m.growAll(working)
+		any, _ := m.growAll(working)
 		before := len(working)
-		working = m.checkMerges(working)
+		working, _ = m.checkMerges(working)
 		t.Logf("iter %d: grew=%v patterns %d->%d merges=%d", i, any, before, len(working), m.stats.Merges)
 	}
 	nMerged := 0

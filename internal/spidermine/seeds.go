@@ -20,9 +20,12 @@ import (
 // The random draw itself is sequential (it consumes the run's rng);
 // materialization — the expensive anchored matching — shards across
 // workers, each owning one Matcher, with results reduced in draw order.
-func (m *Miner) seedPatterns(M int, trees []*spider.MinedTree, rng *rand.Rand) []*pattern.Pattern {
+// The rng is always consumed in full before the cancellable
+// materialization, so a cancelled draw leaves the rng stream where an
+// uncancelled draw would.
+func (m *Miner) seedPatterns(M int, trees []*spider.MinedTree, rng *rand.Rand) ([]*pattern.Pattern, error) {
 	if m.cfg.Radius <= 1 || len(trees) == 0 {
-		return spider.RandomSeed(m.g, m.catalog, M, m.cfg.PerHostCap, rng, m.cfg.Workers)
+		return spider.RandomSeedContext(m.ctx, m.g, m.catalog, M, m.cfg.PerHostCap, rng, m.cfg.Workers)
 	}
 	if M > len(trees) {
 		M = len(trees)
@@ -30,16 +33,19 @@ func (m *Miner) seedPatterns(M int, trees []*spider.MinedTree, rng *rand.Rand) [
 	idx := rng.Perm(len(trees))[:M]
 	workers := m.workerCount(len(idx))
 	matchers := make([]canon.Matcher, workers) // one search state per worker
-	drawn := par.Map(len(idx), workers, func(wk, i int) *pattern.Pattern {
+	drawn, err := par.Map(m.ctx, len(idx), workers, func(wk, i int) *pattern.Pattern {
 		return materializeTree(&matchers[wk], m.g, trees[idx[i]], m.cfg.PerHostCap)
 	})
+	if err != nil {
+		return nil, err
+	}
 	out := make([]*pattern.Pattern, 0, M)
 	for _, p := range drawn {
 		if p != nil {
 			out = append(out, p)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // materializeTree turns a mined tree spider into a Pattern by enumerating,

@@ -1,6 +1,8 @@
 package spidermine
 
 import (
+	"context"
+
 	"repro/internal/graph"
 	"repro/internal/pattern"
 	"repro/internal/support"
@@ -14,10 +16,17 @@ import (
 // union graph, a safe upper bound on transaction support that the growth
 // stages re-verify.
 func MineTransactions(db *txdb.DB, cfg Config) *Result {
+	res, _ := MineTransactionsContext(context.Background(), db, cfg)
+	return res
+}
+
+// MineTransactionsContext is MineTransactions with cooperative
+// cancellation, under the same partial-result contract as RunContext.
+func MineTransactionsContext(ctx context.Context, db *txdb.DB, cfg Config) (*Result, error) {
 	union, txOf := db.Union()
 	m := New(union, cfg)
 	m.supFn = func(_ *graph.Graph, embs []pattern.Embedding) int {
 		return support.TransactionSupport(embs, txOf)
 	}
-	return m.Run()
+	return m.RunContext(ctx)
 }

@@ -1,0 +1,170 @@
+package mine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+)
+
+// slowHost is a §5.1 synthetic network big enough that a SpiderMine run
+// spans several observable Stage II iterations.
+func slowHost() *Graph {
+	g, _ := Synthetic(SyntheticConfig{
+		N: 2000, AvgDeg: 4, NumLabels: 20,
+		Large: InjectSpec{NV: 20, Count: 3, Support: 10},
+		Small: InjectSpec{NV: 5, Count: 10, Support: 10},
+		Seed:  7,
+	})
+	return g
+}
+
+func fingerprintPatterns(t *testing.T, res *Result) string {
+	t.Helper()
+	b, err := json.Marshal(res.Patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// cancelMidGrowth mines slowHost cancelling at the first Stage II growth
+// boundary via the synchronous progress stream.
+func cancelMidGrowth(t *testing.T, g *Graph) (*Result, error, time.Duration) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var cancelledAt time.Time
+	m, err := Get("spidermine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Mine(ctx, SingleGraph(g), Options{
+		MinSupport: 3, K: 10, Dmax: 4, Seed: 9, Workers: 2,
+		OnProgress: func(ev ProgressEvent) {
+			if ev.Stage == "growth" && ev.Iteration == 1 && cancelledAt.IsZero() {
+				cancelledAt = time.Now()
+				cancel()
+			}
+		},
+	})
+	ret := time.Now()
+	if cancelledAt.IsZero() {
+		t.Fatal("run never reached a growth iteration")
+	}
+	return res, err, ret.Sub(cancelledAt)
+}
+
+// TestFacadeCancelDeterministic: cancelling through the façade surfaces
+// context.Canceled, the canceled truncation reason, a prompt return, and
+// partial results that are byte-identical across identically cancelled
+// runs at fixed workers.
+func TestFacadeCancelDeterministic(t *testing.T) {
+	g := slowHost()
+	res1, err1, lat := cancelMidGrowth(t, g)
+	if !errors.Is(err1, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err1)
+	}
+	if res1.Truncated != TruncatedCanceled {
+		t.Errorf("Truncated = %q, want %q", res1.Truncated, TruncatedCanceled)
+	}
+	if lat > 100*time.Millisecond {
+		t.Errorf("%v from cancel to return, want < 100ms", lat)
+	}
+	res2, err2, _ := cancelMidGrowth(t, g)
+	if !errors.Is(err2, context.Canceled) {
+		t.Fatalf("second run err = %v", err2)
+	}
+	if fingerprintPatterns(t, res1) != fingerprintPatterns(t, res2) {
+		t.Error("two identically cancelled runs returned different partial results")
+	}
+}
+
+// TestWallClockBudgetIsNotAnError: exhausting Options.MaxWallClock is a
+// truncation, not a failure — nil error, TruncatedDeadline reason.
+func TestWallClockBudgetIsNotAnError(t *testing.T) {
+	m, _ := Get("spidermine")
+	res, err := m.Mine(context.Background(), SingleGraph(slowHost()), Options{
+		MinSupport: 3, K: 10, Dmax: 4, Seed: 9,
+		MaxWallClock: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("budget exhaustion surfaced as error: %v", err)
+	}
+	if res.Truncated != TruncatedDeadline {
+		t.Errorf("Truncated = %q, want %q", res.Truncated, TruncatedDeadline)
+	}
+}
+
+// TestCallerDeadlineIsAnError: the same wall-clock stop via the caller's
+// ctx *is* an error — the caller asked for it and must see ctx.Err().
+func TestCallerDeadlineIsAnError(t *testing.T) {
+	m, _ := Get("spidermine")
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	res, err := m.Mine(ctx, SingleGraph(slowHost()), Options{
+		MinSupport: 3, K: 10, Dmax: 4, Seed: 9,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if res.Truncated != TruncatedDeadline {
+		t.Errorf("Truncated = %q, want %q", res.Truncated, TruncatedDeadline)
+	}
+}
+
+// TestProgressStream: a full run emits stage events in coordinator order,
+// ending with "done".
+func TestProgressStream(t *testing.T) {
+	m, _ := Get("spidermine")
+	var stages []string
+	_, err := m.Mine(context.Background(), SingleGraph(motifGraph()), Options{
+		MinSupport: 2, K: 3, Dmax: 4, Seed: 1,
+		OnProgress: func(ev ProgressEvent) {
+			if ev.Miner != "spidermine" {
+				t.Errorf("event miner %q", ev.Miner)
+			}
+			stages = append(stages, ev.Stage)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) < 3 {
+		t.Fatalf("only %d progress events: %v", len(stages), stages)
+	}
+	if stages[0] != "spiders" {
+		t.Errorf("first event %q, want spiders", stages[0])
+	}
+	if last := stages[len(stages)-1]; last != "done" {
+		t.Errorf("last event %q, want done", last)
+	}
+	done := 0
+	for _, s := range stages {
+		if s == "done" {
+			done++
+		}
+	}
+	if done != 1 {
+		t.Errorf("%d terminal \"done\" events, want exactly 1 (%v)", done, stages)
+	}
+}
+
+// TestMaxPatternsTruncatesNativeCap: engines that apply MaxPatterns
+// natively (subdue's MaxBest) still report the truncation reason.
+func TestMaxPatternsTruncatesNativeCap(t *testing.T) {
+	m, _ := Get("subdue")
+	res, err := m.Mine(context.Background(), SingleGraph(motifGraph()), Options{
+		MinSupport: 2, MaxPatterns: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) > 2 {
+		t.Fatalf("MaxPatterns=2 returned %d patterns", len(res.Patterns))
+	}
+	if res.Truncated != TruncatedMaxPatterns {
+		t.Errorf("Truncated = %q, want %q", res.Truncated, TruncatedMaxPatterns)
+	}
+}

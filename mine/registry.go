@@ -1,0 +1,55 @@
+package mine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The registry maps miner names to implementations. The six built-in
+// engines register in this package's init; external packages may add
+// their own with Register.
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Miner)
+)
+
+// Register adds a miner under its Name. Registering an empty name or a
+// name already taken panics: the registry is program wiring, and a
+// collision is a bug worth failing loudly on.
+func Register(m Miner) {
+	name := m.Name()
+	if name == "" {
+		panic("mine: Register with empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("mine: Register called twice for %q", name))
+	}
+	registry[name] = m
+}
+
+// Get looks a miner up by name. Unknown names error with the list of
+// registered ones.
+func Get(name string) (Miner, error) {
+	regMu.RLock()
+	m, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("mine: unknown miner %q (have %v)", name, Names())
+	}
+	return m, nil
+}
+
+// Names returns the registered miner names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
