@@ -10,16 +10,21 @@
 //	spidermine -list-miners
 //
 // Each returned pattern is printed as an LG block plus a summary line; add
-// -stats for mining statistics. A run that exceeds -timeout exits
-// non-zero after printing the deterministic partial results mined so far.
+// -stats for mining statistics. A run stopped by the caller's clock — the
+// -timeout deadline — exits non-zero *after* printing the deterministic
+// partial results committed before the stop; output is flushed before the
+// process exits (main returns the exit code to a single os.Exit at the
+// top, so no deferred writer is ever skipped).
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -27,6 +32,13 @@ import (
 )
 
 func main() {
+	// The only os.Exit in the program: run returns the exit code with all
+	// of its defers — output flushes, file closes — already executed, so
+	// committed partial results can never be lost to an early exit.
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		in         = flag.String("in", "", "input graph file in LG format (required; - for stdin)")
 		minerName  = flag.String("miner", "spidermine", "mining engine (see -list-miners)")
@@ -49,17 +61,19 @@ func main() {
 		asJSON     = flag.Bool("json", false, "emit patterns as a JSON array")
 	)
 	flag.Parse()
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
 	if *listMiners {
 		for _, name := range mine.Names() {
 			m, _ := mine.Get(name)
-			fmt.Printf("%-12s %s\n", name, m.Describe())
+			fmt.Fprintf(out, "%-12s %s\n", name, m.Describe())
 		}
-		return
+		return 0
 	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "spidermine: -in is required")
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 	var (
 		g    *mine.Graph
@@ -71,22 +85,22 @@ func main() {
 	} else {
 		f, ferr := os.Open(*in)
 		if ferr != nil {
-			fatal(ferr)
+			return fail(ferr)
 		}
 		g, name, err = mine.ReadLG(f)
 		f.Close()
 	}
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if name == "" {
 		name = *in
 	}
-	fmt.Printf("mining %s with %s: %v\n", name, *minerName, g)
+	fmt.Fprintf(out, "mining %s with %s: %v\n", name, *minerName, g)
 
 	engine, err := mine.Get(*minerName)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	opts := mine.Options{
 		MinSupport:       *sup,
@@ -114,55 +128,62 @@ func main() {
 	defer cancel()
 
 	res, err := engine.Mine(ctx, mine.SingleGraph(g), opts)
-	deadlined := err != nil && errors.Is(err, context.DeadlineExceeded)
-	if err != nil && !deadlined {
-		fatal(err)
+	// A fired caller ctx — our -timeout deadline, or any cancellation —
+	// still carries deterministic committed partials: print them, then
+	// exit non-zero.
+	ctxStopped := err != nil && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled))
+	if err != nil && !ctxStopped {
+		return fail(err)
 	}
-	printPatterns(res, *asJSON, *asDOT)
+	if perr := printPatterns(out, res, *asJSON, *asDOT); perr != nil {
+		return fail(perr)
+	}
 	if *stats {
-		printStats(res)
+		printStats(out, res)
 	}
-	if deadlined {
-		fmt.Fprintf(os.Stderr, "spidermine: timeout %v exceeded; printed the partial results committed before the deadline\n", *timeout)
-		os.Exit(1)
+	if ferr := out.Flush(); ferr != nil {
+		return fail(ferr)
 	}
+	if ctxStopped {
+		fmt.Fprintf(os.Stderr, "spidermine: %v (timeout %v); printed the partial results committed before the stop\n", err, *timeout)
+		return 1
+	}
+	return 0
 }
 
-func printPatterns(res *mine.Result, asJSON, asDOT bool) {
+func printPatterns(out io.Writer, res *mine.Result, asJSON, asDOT bool) error {
 	if asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(res.Patterns); err != nil {
-			fatal(err)
-		}
-		return
+		return enc.Encode(res.Patterns)
 	}
 	for i, p := range res.Patterns {
-		fmt.Printf("\n# pattern %d: |V|=%d |E|=%d diam=%d embeddings=%d\n",
+		fmt.Fprintf(out, "\n# pattern %d: |V|=%d |E|=%d diam=%d embeddings=%d\n",
 			i+1, p.NV(), p.Size(), p.G.Diameter(), len(p.Emb))
 		var err error
 		if asDOT {
-			err = p.G.WriteDOT(os.Stdout, fmt.Sprintf("pattern-%d", i+1))
+			err = p.G.WriteDOT(out, fmt.Sprintf("pattern-%d", i+1))
 		} else {
-			err = p.G.WriteLG(os.Stdout, fmt.Sprintf("pattern-%d", i+1))
+			err = p.G.WriteLG(out, fmt.Sprintf("pattern-%d", i+1))
 		}
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	}
+	return nil
 }
 
-func printStats(res *mine.Result) {
+func printStats(out io.Writer, res *mine.Result) {
 	s := res.Stats
-	fmt.Printf("\nstats{miner=%s patterns=%d spiders=%d M=%d iters=%d merges=%d isoSkip=%d isoRun=%d elapsed=%v",
+	fmt.Fprintf(out, "\nstats{miner=%s patterns=%d spiders=%d M=%d iters=%d merges=%d isoSkip=%d isoRun=%d elapsed=%v",
 		res.Miner, len(res.Patterns), s.Spiders, s.SeedDraws, s.GrowIterations, s.Merges, s.IsoSkipped, s.IsoRun, s.Elapsed.Round(time.Millisecond))
 	for _, st := range s.Stages {
-		fmt.Printf(" t[%s]=%v", st.Name, st.Duration.Round(time.Millisecond))
+		fmt.Fprintf(out, " t[%s]=%v", st.Name, st.Duration.Round(time.Millisecond))
 	}
-	fmt.Printf(" truncated=%q}\n", string(res.Truncated))
+	fmt.Fprintf(out, " truncated=%q}\n", string(res.Truncated))
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintf(os.Stderr, "spidermine: %v\n", err)
-	os.Exit(1)
+	return 1
 }

@@ -1,0 +1,92 @@
+// Command spiderserved is the long-running mining service: an HTTP/JSON
+// API over the mine façade, backed by a content-fingerprinted graph
+// store, a bounded FIFO job scheduler, and an LRU result cache (see
+// internal/serve for the endpoint reference).
+//
+// Usage:
+//
+//	spiderserved -addr :8471 -runners 4 -queue 64 -cache 256
+//
+// Lifecycle:
+//
+//	curl -X POST --data-binary @host.lg localhost:8471/graphs
+//	curl -X POST -d '{"graph":"<id>","miner":"spidermine","options":{"min_support":2,"k":10}}' localhost:8471/jobs
+//	curl localhost:8471/jobs/j1/events        # NDJSON progress stream
+//	curl localhost:8471/jobs/j1/result        # terminal result
+//	curl -X DELETE localhost:8471/jobs/j1     # cancel -> committed partials
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: HTTP intake stops,
+// queued and running jobs finish, and after -drain the remaining runs
+// are cancelled into their deterministic committed partials before the
+// process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr     = flag.String("addr", ":8471", "listen address")
+		runners  = flag.Int("runners", runtime.NumCPU(), "concurrent mining runners")
+		queueCap = flag.Int("queue", 64, "job queue capacity (full queue returns 503)")
+		cacheCap = flag.Int("cache", 256, "result cache capacity in entries (0 disables)")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM before in-flight jobs are cancelled into committed partials")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{Runners: *runners, QueueCap: *queueCap, CacheCap: *cacheCap})
+	httpSrv := &http.Server{Handler: srv}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spiderserved: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "spiderserved: listening on %s (runners=%d queue=%d cache=%d)\n",
+		ln.Addr(), *runners, *queueCap, *cacheCap)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "spiderserved: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintf(os.Stderr, "spiderserved: draining (budget %v)\n", *drain)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Drain the scheduler first: jobs finish (or are cancelled into
+	// committed partials at the deadline), which also unblocks event
+	// streams, so the HTTP shutdown after it completes promptly.
+	srv.Shutdown(drainCtx)
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "spiderserved: http shutdown: %v\n", err)
+	}
+	httpSrv.Close()
+	fmt.Fprintln(os.Stderr, "spiderserved: drained")
+	return 0
+}

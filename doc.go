@@ -31,6 +31,24 @@
 // experiment suite's cross-miner comparison ("miners") go through this
 // façade; new serving surfaces must too.
 //
+// # Serving layer
+//
+// internal/serve (daemon: cmd/spiderserved) is the first serving
+// subsystem over the façade: an HTTP/JSON mining service comprising a
+// graph store (upload hosts in LG format; content-addressed by a stable
+// 128-bit fingerprint, so identical uploads deduplicate), a bounded FIFO
+// job scheduler (N concurrent runners, each job's context a child of the
+// scheduler's, so DELETE /jobs/{id} cancels into the façade's
+// deterministic committed partials and SIGTERM drains gracefully), an
+// LRU result cache keyed by (host fingerprint, miner name, fingerprint
+// of mine.Options.Canonical) making repeated queries O(1), and NDJSON
+// progress streaming backed by Options.OnProgress. The HTTP surface
+// preserves the truncation-vs-error contract: budget-stopped runs finish
+// "done" with a truncation reason; cancelled runs finish "canceled" with
+// an error *and* their partial result still retrievable. See the
+// internal/serve package comment for the endpoint reference and
+// README.md for the job lifecycle.
+//
 // # Cancellation architecture
 //
 // context.Context threads from the façade through every mining layer down

@@ -37,13 +37,19 @@ func (g *Graph) WriteLG(w io.Writer, name string) error {
 
 // ReadLG parses a single graph in LG format. Unknown directives and blank
 // lines are ignored; an optional trailing edge label field is accepted and
-// dropped (the library is vertex-labeled).
+// dropped (the library is vertex-labeled). Malformed input — duplicate or
+// out-of-order vertex ids, edges referencing undefined vertices, a second
+// graph header — is rejected with a positional (line-numbered) error
+// rather than silently accepted: serving endpoints ingest through this
+// reader, and a quietly mis-parsed host would poison every job mined
+// against it.
 func ReadLG(r io.Reader) (*Graph, string, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	b := NewBuilder(0, 0)
 	name := ""
 	lineNo := 0
+	sawHeader := false
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -54,6 +60,10 @@ func ReadLG(r io.Reader) (*Graph, string, error) {
 		switch fields[0] {
 		case "t":
 			// "t # name"
+			if sawHeader {
+				return nil, "", fmt.Errorf("graph: line %d: second graph header %q (ReadLG parses a single graph)", lineNo, line)
+			}
+			sawHeader = true
 			if len(fields) >= 3 {
 				name = strings.Join(fields[2:], " ")
 			}
@@ -68,6 +78,9 @@ func ReadLG(r io.Reader) (*Graph, string, error) {
 			lab, err := strconv.Atoi(fields[2])
 			if err != nil {
 				return nil, "", fmt.Errorf("graph: line %d: bad vertex label: %v", lineNo, err)
+			}
+			if id < b.N() && id >= 0 {
+				return nil, "", fmt.Errorf("graph: line %d: duplicate vertex id %d", lineNo, id)
 			}
 			if id != b.N() {
 				return nil, "", fmt.Errorf("graph: line %d: vertex ids must be dense and in order; got %d, want %d", lineNo, id, b.N())
@@ -86,7 +99,7 @@ func ReadLG(r io.Reader) (*Graph, string, error) {
 				return nil, "", fmt.Errorf("graph: line %d: bad edge endpoint: %v", lineNo, err)
 			}
 			if u < 0 || w < 0 || u >= b.N() || w >= b.N() {
-				return nil, "", fmt.Errorf("graph: line %d: edge (%d,%d) references unknown vertex", lineNo, u, w)
+				return nil, "", fmt.Errorf("graph: line %d: edge (%d,%d) references undefined vertex (have %d)", lineNo, u, w, b.N())
 			}
 			b.AddEdge(V(u), V(w))
 		}

@@ -18,6 +18,9 @@ func FuzzReadGraph(f *testing.F) {
 	f.Add("# comment\n\nv 0 5\nv 1 5\ne 0 1 99\n") // trailing edge label dropped
 	f.Add("t # dup\nv 0 1\nv 1 1\ne 0 1\ne 1 0\ne 0 0\n")
 	f.Add("x unknown directive\nv 0 2\n")
+	f.Add("t # dup-id\nv 0 1\nv 1 2\nv 0 3\ne 0 1\n")    // duplicate vertex id: must error, not merge
+	f.Add("t # dangling\nv 0 1\nv 1 1\ne 1 7\ne -2 0\n") // edges against undefined vertices: must error
+	f.Add("t # one\nv 0 1\nt # two\nv 1 1\ne 0 1\n")     // second graph header: must error, not concatenate
 	f.Fuzz(func(t *testing.T, in string) {
 		g, name, err := ReadLG(strings.NewReader(in))
 		if err != nil {

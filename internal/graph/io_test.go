@@ -67,6 +67,56 @@ func TestReadLGErrors(t *testing.T) {
 	}
 }
 
+// TestReadLGRejectsGarbageWithPosition: the malformed shapes a serving
+// endpoint must refuse to ingest — duplicate vertex ids, edges against
+// undefined vertices, a second graph header — fail with line-numbered
+// errors naming the defect.
+func TestReadLGRejectsGarbageWithPosition(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want []string
+	}{
+		{
+			"duplicate vertex id",
+			"t # g\nv 0 1\nv 1 2\nv 0 3\n",
+			[]string{"line 4", "duplicate vertex id 0"},
+		},
+		{
+			"edge references undefined vertex",
+			"v 0 1\nv 1 1\ne 1 2\n",
+			[]string{"line 3", "undefined vertex"},
+		},
+		{
+			"edge before any vertex",
+			"e 0 1\nv 0 1\nv 1 1\n",
+			[]string{"line 1", "undefined vertex"},
+		},
+		{
+			"negative edge endpoint",
+			"v 0 1\ne -1 0\n",
+			[]string{"line 2", "undefined vertex"},
+		},
+		{
+			"second graph header",
+			"t # a\nv 0 1\nt # b\nv 1 1\n",
+			[]string{"line 3", "second graph header"},
+		},
+	}
+	for _, c := range cases {
+		_, _, err := ReadLG(strings.NewReader(c.in))
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		for _, frag := range c.want {
+			if !strings.Contains(err.Error(), frag) {
+				t.Errorf("%s: error %q missing %q", c.name, err, frag)
+			}
+		}
+	}
+}
+
 func TestReadLGAcceptsEdgeLabels(t *testing.T) {
 	in := "v 0 1\nv 1 1\ne 0 1 42\n" // trailing edge label dropped
 	g, _, err := ReadLG(strings.NewReader(in))

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/mine"
+)
+
+// CacheKey identifies one mining computation: the host graph's content
+// fingerprint, the miner's registry name, and the fingerprint of the
+// canonical Options serialization (mine.Options.Canonical — every
+// semantic field, OnProgress excluded). Identical keys are identical
+// computations under the façade's determinism contract, so a cached
+// Result can stand in for a re-run.
+type CacheKey struct {
+	Host    string
+	Miner   string
+	Options string
+}
+
+// Key builds the cache key for a job specification.
+func Key(hostFP, miner string, opts mine.Options) CacheKey {
+	return CacheKey{Host: hostFP, Miner: miner, Options: FingerprintBytes([]byte(opts.Canonical()))}
+}
+
+// Cache is a bounded LRU result cache. Stored Results are shared by
+// pointer between jobs and HTTP responses and are treated as immutable —
+// the façade never mutates a returned Result, and nothing downstream may
+// either. Only successful (nil-error) runs whose outcome is a
+// deterministic function of the key are cached: cancelled runs' partials
+// depend on where cancellation landed, and MaxWallClock-truncated
+// results on machine load, so both must re-run (see Scheduler.runJob).
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[CacheKey]*list.Element
+	lru     list.List // front = most recently used
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	key CacheKey
+	res *mine.Result
+}
+
+// NewCache returns a result cache bounded to capacity entries;
+// capacity <= 0 disables caching (every Get misses, Put is a no-op).
+func NewCache(capacity int) *Cache {
+	c := &Cache{cap: capacity, entries: make(map[CacheKey]*list.Element)}
+	c.lru.Init()
+	return c
+}
+
+// Get returns the cached Result for key, marking it most recently used.
+func (c *Cache) Get(key CacheKey) (*mine.Result, bool) {
+	if c == nil || c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put stores a Result under key, evicting the least recently used entry
+// when the cache is full.
+func (c *Cache) Put(key CacheKey, res *mine.Result) {
+	if c == nil || c.cap <= 0 || res == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, res: res})
+	for c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+	Cap     int    `json:"capacity"`
+}
+
+// Stats snapshots hit/miss counters and occupancy.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.lru.Len(), Cap: c.cap}
+}

@@ -1,0 +1,81 @@
+// Package serve is the mining service layer: a graph store keyed by
+// content fingerprint, a bounded FIFO job scheduler running mine-façade
+// jobs under per-job cancellation, a result cache keyed by
+// (host fingerprint, miner, canonical Options fingerprint), and an
+// HTTP/JSON API (Server) exposing all of it — upload hosts in LG format,
+// submit jobs, stream NDJSON progress, cancel for deterministic committed
+// partials. Command spiderserved is the daemon around this package.
+//
+// The HTTP surface preserves the façade's truncation-vs-error contract:
+// a run stopped by its own budgets (Options.MaxPatterns / MaxWallClock /
+// a miner-internal budget) finishes with status "done" and a non-empty
+// "truncated" reason; a run stopped by cancellation (DELETE /jobs/{id},
+// or the drain deadline at shutdown) finishes with status "canceled", an
+// "error" field, and its deterministic committed partial result still
+// retrievable from /jobs/{id}/result.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+
+	"repro/internal/graph"
+)
+
+// digest128 accumulates a stable 128-bit content fingerprint: SHA-256
+// over a canonical stream of big-endian u64 tokens, truncated to 128
+// bits. The store and cache deduplicate purely by fingerprint — requests
+// are routed by it — so the hash must be collision-resistant, not merely
+// well-distributed (a crafted collision would silently alias two
+// distinct graphs and poison every cached result; the FNV-style mixes
+// the matcher uses internally are fine for dedupe heuristics but not for
+// content addressing). The construction is frozen: fingerprints are
+// wire-visible (graph ids) and must be stable across releases.
+type digest128 struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func newDigest() digest128 {
+	return digest128{h: sha256.New()}
+}
+
+func (d *digest128) mix(x uint64) {
+	binary.BigEndian.PutUint64(d.buf[:], x)
+	d.h.Write(d.buf[:])
+}
+
+// hex renders the truncated 128-bit digest as 32 lowercase hex digits.
+func (d *digest128) hex() string {
+	sum := d.h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}
+
+// FingerprintGraph returns the stable 128-bit content fingerprint of a
+// graph: vertex count, edge count, the label sequence, and the sorted
+// deduped CSR edge list. Builder.Build canonicalizes edge order, so any
+// two graphs with identical content — regardless of input edge order or
+// the advisory LG name — fingerprint identically.
+func FingerprintGraph(g *graph.Graph) string {
+	d := newDigest()
+	d.mix(uint64(g.N()))
+	d.mix(uint64(g.M()))
+	for _, l := range g.Labels() {
+		d.mix(uint64(uint32(l)))
+	}
+	for _, e := range g.Edges() {
+		d.mix(uint64(uint32(e.U))<<32 | uint64(uint32(e.W)))
+	}
+	return d.hex()
+}
+
+// FingerprintBytes returns the 128-bit fingerprint of a byte string —
+// used on canonical Options serializations for cache keys.
+func FingerprintBytes(p []byte) string {
+	d := newDigest()
+	d.mix(uint64(len(p)))
+	d.h.Write(p)
+	return d.hex()
+}

@@ -1,0 +1,444 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/mine"
+)
+
+// Status is a job's lifecycle state. Transitions are monotonic:
+// queued → running → {done, failed, canceled}, with queued → canceled
+// for jobs cancelled (or drained) before a runner picks them up and
+// queued → done for cache hits (which never enter the queue).
+type Status string
+
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"     // nil-error run (possibly budget-truncated)
+	StatusFailed   Status = "failed"   // non-context error
+	StatusCanceled Status = "canceled" // context fired; Result holds committed partials
+)
+
+// terminal reports whether a status is final.
+func (s Status) terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// Submission errors a serving surface maps to backpressure responses.
+var (
+	ErrQueueFull = errors.New("serve: job queue full")
+	ErrDraining  = errors.New("serve: scheduler is draining; not accepting jobs")
+)
+
+// Job is one scheduled mining run. All mutable state is guarded by mu;
+// the identity fields (ID, Graph, Miner, Opts, Key) are immutable after
+// Submit.
+type Job struct {
+	ID    string
+	Graph *StoredGraph
+	Miner string
+	Opts  mine.Options
+	Key   CacheKey
+
+	mu       sync.Mutex
+	status   Status
+	cached   bool
+	result   *mine.Result
+	err      error
+	cancel   context.CancelFunc // set while running
+	events   []mine.ProgressEvent
+	notify   chan struct{} // closed and replaced on every state/event change
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// broadcastLocked wakes every waiter; callers hold j.mu.
+func (j *Job) broadcastLocked() {
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// appendEvent records one progress event and wakes streamers. It runs
+// synchronously on the mining coordinator (Options.OnProgress contract),
+// so it must never block.
+func (j *Job) appendEvent(ev mine.ProgressEvent) {
+	j.mu.Lock()
+	j.events = append(j.events, ev)
+	j.broadcastLocked()
+	j.mu.Unlock()
+}
+
+// JobSnapshot is a point-in-time copy of a job's observable state — the
+// wire form of GET /jobs/{id}.
+type JobSnapshot struct {
+	ID        string    `json:"id"`
+	Graph     string    `json:"graph"`
+	Miner     string    `json:"miner"`
+	Status    Status    `json:"status"`
+	Cached    bool      `json:"cached,omitempty"`
+	Truncated string    `json:"truncated,omitempty"`
+	Patterns  int       `json:"patterns"`
+	Events    int       `json:"events"`
+	Error     string    `json:"error,omitempty"`
+	Created   time.Time `json:"created"`
+	Started   time.Time `json:"started,omitzero"`
+	Finished  time.Time `json:"finished,omitzero"`
+}
+
+// Snapshot copies the job's observable state.
+func (j *Job) Snapshot() JobSnapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := JobSnapshot{
+		ID: j.ID, Graph: j.Graph.ID, Miner: j.Miner,
+		Status: j.status, Cached: j.cached, Events: len(j.events),
+		Created: j.created, Started: j.started, Finished: j.finished,
+	}
+	if j.result != nil {
+		s.Truncated = string(j.result.Truncated)
+		s.Patterns = len(j.result.Patterns)
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	return s
+}
+
+// Outcome returns the job's terminal result and run error; ok is false
+// until the job reaches a terminal status. A canceled job returns its
+// deterministic committed partial result together with the context
+// error.
+func (j *Job) Outcome() (res *mine.Result, ok bool, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.status.terminal() {
+		return nil, false, nil
+	}
+	return j.result, true, j.err
+}
+
+// RequestCancel asks for the job's cancellation: a queued job is marked
+// canceled without ever running; a running job's context is cancelled,
+// and the run winds down to its deterministic committed partial result
+// (observe completion via Done / WaitEvents — RequestCancel does not
+// block). On a terminal job it is a no-op.
+func (j *Job) RequestCancel() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.status {
+	case StatusQueued:
+		j.status = StatusCanceled
+		j.err = context.Canceled
+		j.finished = time.Now().UTC()
+		j.broadcastLocked()
+	case StatusRunning:
+		j.cancel()
+	}
+}
+
+// WaitEvents returns the progress events from index `from` onward. When
+// none are pending it blocks until the job appends one, reaches a
+// terminal status, or ctx fires. done reports terminal state: the caller
+// has received every event that will ever exist once done is true and
+// events is empty.
+func (j *Job) WaitEvents(ctx context.Context, from int) (events []mine.ProgressEvent, done bool, err error) {
+	for {
+		j.mu.Lock()
+		if from < len(j.events) {
+			events = append(events, j.events[from:]...)
+			j.mu.Unlock()
+			return events, false, nil
+		}
+		if j.status.terminal() {
+			j.mu.Unlock()
+			return nil, true, nil
+		}
+		wake := j.notify
+		j.mu.Unlock()
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+}
+
+// Done returns a channel-free wait: it blocks until the job is terminal
+// or ctx fires.
+func (j *Job) Done(ctx context.Context) error {
+	for {
+		j.mu.Lock()
+		if j.status.terminal() {
+			j.mu.Unlock()
+			return nil
+		}
+		wake := j.notify
+		j.mu.Unlock()
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Scheduler runs submitted jobs on a fixed pool of runner goroutines
+// over a bounded FIFO queue, consulting the result cache before
+// queueing. Every run's context is a child of the scheduler's base
+// context, so Shutdown can cancel all in-flight work into deterministic
+// committed partials.
+type Scheduler struct {
+	cache *Cache
+
+	queue      chan *Job
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	order     []string
+	nextID    int
+	accepting bool
+	// retain bounds how many jobs stay registered: once exceeded, the
+	// oldest *terminal* jobs are evicted (a long-running daemon must not
+	// pin every historical Result and event log forever). Live jobs are
+	// never evicted.
+	retain int
+}
+
+// defaultJobRetention bounds job history when the embedder does not
+// choose a limit.
+const defaultJobRetention = 4096
+
+// NewScheduler starts `runners` runner goroutines over a FIFO queue of
+// capacity queueCap (minimums of 1 apply).
+func NewScheduler(cache *Cache, runners, queueCap int) *Scheduler {
+	if runners < 1 {
+		runners = 1
+	}
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	s := &Scheduler{
+		cache:     cache,
+		queue:     make(chan *Job, queueCap),
+		jobs:      make(map[string]*Job),
+		accepting: true,
+		retain:    defaultJobRetention,
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	for i := 0; i < runners; i++ {
+		s.wg.Add(1)
+		go s.runner()
+	}
+	return s
+}
+
+// Submit registers a job for (graph, miner, opts). A result-cache hit
+// completes the job immediately (Cached status done) without consuming a
+// queue slot; otherwise the job enters the FIFO queue, or Submit fails
+// with ErrQueueFull / ErrDraining. opts.OnProgress is ignored — progress
+// streams through the job's event log.
+func (s *Scheduler) Submit(sg *StoredGraph, minerName string, opts mine.Options) (*Job, error) {
+	if sg == nil || sg.G == nil {
+		return nil, fmt.Errorf("serve: Submit with nil graph")
+	}
+	if _, err := mine.Get(minerName); err != nil {
+		return nil, err
+	}
+	opts.OnProgress = nil
+	job := &Job{
+		Graph: sg, Miner: minerName, Opts: opts,
+		Key:     Key(sg.ID, minerName, opts),
+		status:  StatusQueued,
+		notify:  make(chan struct{}),
+		created: time.Now().UTC(),
+	}
+	cachedRes, hit := s.cache.Get(job.Key)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.accepting {
+		return nil, ErrDraining
+	}
+	s.nextID++
+	job.ID = fmt.Sprintf("j%d", s.nextID)
+	if hit {
+		job.status = StatusDone
+		job.cached = true
+		job.result = cachedRes
+		job.finished = time.Now().UTC()
+	} else {
+		select {
+		case s.queue <- job:
+		default:
+			return nil, ErrQueueFull
+		}
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.evictLocked()
+	return job, nil
+}
+
+// evictLocked drops the oldest terminal jobs while the registry exceeds
+// the retention bound; callers hold s.mu. An evicted job disappears from
+// Get/List (404 over HTTP) — in-flight streamers holding the *Job keep
+// working, and the job's memory is released once they let go.
+func (s *Scheduler) evictLocked() {
+	if s.retain < 1 || len(s.order) <= s.retain {
+		return
+	}
+	excess := len(s.order) - s.retain
+	kept := s.order[:0]
+	for i, id := range s.order {
+		if excess == 0 {
+			kept = append(kept, s.order[i:]...)
+			break
+		}
+		j := s.jobs[id]
+		j.mu.Lock()
+		evictable := j.status.terminal()
+		j.mu.Unlock()
+		if evictable {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Get looks a job up by id.
+func (s *Scheduler) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// List returns all jobs in submission order.
+func (s *Scheduler) List() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// QueueDepth reports how many submitted jobs await a runner.
+func (s *Scheduler) QueueDepth() int { return len(s.queue) }
+
+// Cancel requests cancellation of a job by id (see Job.RequestCancel).
+func (s *Scheduler) Cancel(id string) error {
+	j, ok := s.Get(id)
+	if !ok {
+		return fmt.Errorf("serve: unknown job %q", id)
+	}
+	j.RequestCancel()
+	return nil
+}
+
+// Shutdown drains the scheduler: no new submissions are accepted, queued
+// jobs keep running until the queue is empty, and the call returns when
+// every runner has exited. If ctx fires first, the drain hardens —
+// in-flight runs are cancelled (completing as canceled with committed
+// partials) and still-queued jobs are marked canceled — and Shutdown
+// waits for that to finish. Safe to call more than once.
+func (s *Scheduler) Shutdown(ctx context.Context) {
+	s.mu.Lock()
+	if s.accepting {
+		s.accepting = false
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		s.baseCancel()
+		<-drained
+	}
+	s.baseCancel()
+}
+
+func (s *Scheduler) runner() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+func (s *Scheduler) runJob(j *Job) {
+	j.mu.Lock()
+	if j.status != StatusQueued {
+		// Cancelled while waiting in the queue.
+		j.mu.Unlock()
+		return
+	}
+	if s.baseCtx.Err() != nil {
+		// Hard shutdown: fail queued work over running it with a dead
+		// context.
+		j.status = StatusCanceled
+		j.err = context.Canceled
+		j.finished = time.Now().UTC()
+		j.broadcastLocked()
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	j.cancel = cancel
+	j.status = StatusRunning
+	j.started = time.Now().UTC()
+	j.broadcastLocked()
+	j.mu.Unlock()
+
+	m, err := mine.Get(j.Miner)
+	var res *mine.Result
+	if err == nil {
+		opts := j.Opts
+		opts.OnProgress = j.appendEvent
+		res, err = m.Mine(ctx, mine.SingleGraph(j.Graph.G), opts)
+	}
+
+	j.mu.Lock()
+	j.result = res
+	j.err = err
+	j.finished = time.Now().UTC()
+	switch {
+	case err == nil:
+		j.status = StatusDone
+		// Wall-clock-truncated results are timing-dependent (how far a
+		// run gets in MaxWallClock varies with load); caching one would
+		// replay a machine-state accident forever. Every other outcome —
+		// complete, MaxPatterns-capped, miner-budget-stopped — is a
+		// deterministic function of the cache key.
+		if res == nil || res.Truncated != mine.TruncatedDeadline {
+			s.cache.Put(j.Key, res)
+		}
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// The façade contract: a fired context returns ctx.Err() plus
+		// deterministic committed partials — keep both.
+		j.status = StatusCanceled
+	default:
+		j.status = StatusFailed
+	}
+	j.broadcastLocked()
+	j.mu.Unlock()
+}

@@ -1,0 +1,370 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/mine"
+)
+
+// e2eHostLG renders the E2E host — a §5.1 synthetic network big enough
+// that a run spans observable progress events — in LG upload form.
+func e2eHostLG(t *testing.T) []byte {
+	t.Helper()
+	g, _ := mine.Synthetic(mine.SyntheticConfig{
+		N: 1500, AvgDeg: 4, NumLabels: 20,
+		Large: mine.InjectSpec{NV: 20, Count: 3, Support: 10},
+		Small: mine.InjectSpec{NV: 5, Count: 10, Support: 10},
+		Seed:  7,
+	})
+	var buf bytes.Buffer
+	if err := g.WriteLG(&buf, "e2e-host"); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func decodeJSON[T any](t *testing.T, r io.Reader) T {
+	t.Helper()
+	var v T
+	if err := json.NewDecoder(r).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func post(t *testing.T, url, contentType string, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func get(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func del(t *testing.T, url string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// submitJob posts a job request and returns the decoded snapshot plus
+// the HTTP status code.
+func submitJob(t *testing.T, base, graphID string, options string) (JobSnapshot, int) {
+	t.Helper()
+	body := fmt.Sprintf(`{"graph":%q,"miner":"spidermine","options":%s}`, graphID, options)
+	resp := post(t, base+"/jobs", "application/json", []byte(body))
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit failed: %d %s", resp.StatusCode, raw)
+	}
+	return decodeJSON[JobSnapshot](t, resp.Body), resp.StatusCode
+}
+
+// pollTerminal polls GET /jobs/{id} until the status is terminal.
+func pollTerminal(t *testing.T, base, jobID string) JobSnapshot {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		resp := get(t, base+"/jobs/"+jobID)
+		snap := decodeJSON[JobSnapshot](t, resp.Body)
+		resp.Body.Close()
+		if snap.Status.terminal() {
+			return snap
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s never became terminal", jobID)
+	return JobSnapshot{}
+}
+
+// TestServerEndToEnd drives the full serving lifecycle over a loopback
+// HTTP listener: upload (+dedupe), submit, NDJSON progress streaming,
+// result retrieval, a cache hit on resubmission, and cancellation of a
+// running job into committed partials with an error status — the HTTP
+// projection of the budgets-truncate / contexts-error contract.
+func TestServerEndToEnd(t *testing.T) {
+	srv := New(Config{Runners: 2, QueueCap: 8, CacheCap: 16})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	base := ts.URL
+
+	// --- upload, and content-dedupe on re-upload ---
+	lg := e2eHostLG(t)
+	resp := post(t, base+"/graphs", "text/plain", lg)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status %d, want 201", resp.StatusCode)
+	}
+	sg := decodeJSON[StoredGraph](t, resp.Body)
+	resp.Body.Close()
+	if sg.ID == "" || sg.Name != "e2e-host" || sg.Vertices != 1500 {
+		t.Fatalf("upload record %+v", sg)
+	}
+	resp = post(t, base+"/graphs", "text/plain", lg)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-upload status %d, want 200 (dedupe)", resp.StatusCode)
+	}
+	if again := decodeJSON[StoredGraph](t, resp.Body); again.ID != sg.ID {
+		t.Fatalf("re-upload got id %s, want %s", again.ID, sg.ID)
+	}
+	resp.Body.Close()
+
+	// Garbage is rejected with a positional error and registers nothing.
+	resp = post(t, base+"/graphs", "text/plain", []byte("v 0 1\nv 0 2\n"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage upload status %d, want 400", resp.StatusCode)
+	}
+	errBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(errBody), "duplicate vertex id") {
+		t.Errorf("garbage upload error %s, want duplicate-vertex position", errBody)
+	}
+
+	// --- submit and run to completion, streaming progress ---
+	const doneOpts = `{"min_support":3,"k":8,"dmax":4,"seed":9}`
+	snap, code := submitJob(t, base, sg.ID, doneOpts)
+	if code != http.StatusAccepted || snap.Cached {
+		t.Fatalf("first submit: code %d snapshot %+v, want uncached 202", code, snap)
+	}
+	events, final := streamEvents(t, base, snap.ID, nil)
+	if len(events) < 3 {
+		t.Fatalf("streamed only %d progress events: %+v", len(events), events)
+	}
+	if events[0].Stage != "spiders" || events[len(events)-1].Stage != "done" {
+		t.Errorf("event stages %v, want spiders ... done", stages(events))
+	}
+	if final["status"] != "done" || final["error"] != "" {
+		t.Fatalf("terminal stream record %v, want clean done", final)
+	}
+	res1 := fetchResult(t, base, snap.ID, http.StatusOK)
+	if res1.Status != StatusDone || len(res1.Patterns) == 0 || res1.Error != "" {
+		t.Fatalf("result %s: status=%s patterns=%d error=%q", snap.ID, res1.Status, len(res1.Patterns), res1.Error)
+	}
+
+	// --- identical resubmission: O(1) cache hit with the same result ---
+	snap2, code2 := submitJob(t, base, sg.ID, doneOpts)
+	if code2 != http.StatusOK || !snap2.Cached || snap2.Status != StatusDone {
+		t.Fatalf("resubmit: code %d snapshot %+v, want cached done 200", code2, snap2)
+	}
+	res2 := fetchResult(t, base, snap2.ID, http.StatusOK)
+	b1, _ := json.Marshal(res1.Patterns)
+	b2, _ := json.Marshal(res2.Patterns)
+	if !bytes.Equal(b1, b2) {
+		t.Error("cache hit returned different patterns")
+	}
+
+	// --- cancel a second (heavier) job mid-run ---
+	snap3, _ := submitJob(t, base, sg.ID, `{"min_support":2,"k":10,"dmax":6,"seed":11}`)
+	cancelOnFirst := func(ev mine.ProgressEvent) bool {
+		// First event = end of Stage I; nearly all the work is still
+		// ahead, so DELETE lands well inside the run.
+		del(t, base+"/jobs/"+snap3.ID).Body.Close()
+		return true
+	}
+	_, final3 := streamEvents(t, base, snap3.ID, cancelOnFirst)
+	if final3["status"] != string(StatusCanceled) {
+		t.Fatalf("cancelled job terminal record %v, want canceled", final3)
+	}
+	if !strings.Contains(final3["error"], "canceled") {
+		t.Errorf("cancelled job error %q, want context canceled", final3["error"])
+	}
+	snap3 = pollTerminal(t, base, snap3.ID)
+	if snap3.Status != StatusCanceled || snap3.Error == "" {
+		t.Fatalf("cancelled job snapshot %+v", snap3)
+	}
+	// The committed partials are still served, carrying both the
+	// truncation reason and the error — cancellation is an error WITH
+	// results, never a lost run.
+	res3 := fetchResult(t, base, snap3.ID, http.StatusOK)
+	if res3.Status != StatusCanceled || res3.Error == "" {
+		t.Fatalf("cancelled result: %+v", res3)
+	}
+	if res3.Truncated != string(mine.TruncatedCanceled) {
+		t.Errorf("cancelled result truncation %q, want %q", res3.Truncated, mine.TruncatedCanceled)
+	}
+	if res3.Patterns == nil {
+		t.Error("cancelled result omitted the patterns array")
+	}
+
+	// --- stats reflect the flows above ---
+	resp = get(t, base+"/stats")
+	stats := decodeJSON[map[string]json.RawMessage](t, resp.Body)
+	resp.Body.Close()
+	var cs CacheStats
+	if err := json.Unmarshal(stats["cache"], &cs); err != nil {
+		t.Fatal(err)
+	}
+	if cs.Hits < 1 || cs.Entries < 1 {
+		t.Errorf("cache stats %+v, want >=1 hit and >=1 entry", cs)
+	}
+}
+
+// TestServerValidation covers the 4xx surface: unknown routes, graphs,
+// jobs, miners, and measures.
+func TestServerValidation(t *testing.T) {
+	srv := New(Config{Runners: 1, QueueCap: 2, CacheCap: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	base := ts.URL
+
+	check := func(resp *http.Response, want int, frag string) {
+		t.Helper()
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != want {
+			t.Errorf("status %d, want %d (%s)", resp.StatusCode, want, raw)
+		}
+		if frag != "" && !strings.Contains(string(raw), frag) {
+			t.Errorf("body %s, want %q", raw, frag)
+		}
+	}
+	check(get(t, base+"/graphs/deadbeef"), http.StatusNotFound, "unknown graph")
+	check(get(t, base+"/jobs/j999"), http.StatusNotFound, "unknown job")
+	check(post(t, base+"/jobs", "application/json", []byte(`{"graph":"nope","miner":"spidermine"}`)), http.StatusNotFound, "unknown graph")
+	check(post(t, base+"/jobs", "application/json", []byte(`{"bogus_field":1}`)), http.StatusBadRequest, "bad job request")
+
+	// A registered graph exposes miner/measure validation.
+	resp := post(t, base+"/graphs", "text/plain", []byte("t # tiny\nv 0 1\nv 1 2\ne 0 1\n"))
+	sg := decodeJSON[StoredGraph](t, resp.Body)
+	resp.Body.Close()
+	check(post(t, base+"/jobs", "application/json",
+		[]byte(fmt.Sprintf(`{"graph":%q,"miner":"no-such"}`, sg.ID))), http.StatusBadRequest, "unknown miner")
+	check(post(t, base+"/jobs", "application/json",
+		[]byte(fmt.Sprintf(`{"graph":%q,"miner":"spidermine","options":{"measure":"bogus"}}`, sg.ID))), http.StatusBadRequest, "unknown measure")
+
+	// A pending (non-terminal) job has no result yet. The stub miner
+	// blocks, so the job is reliably non-terminal at first check.
+	release := make(chan struct{})
+	defer close(release)
+	setTestMiner(t, func(ctx context.Context, host mine.Host, opts mine.Options) (*mine.Result, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return &mine.Result{Miner: "testminer"}, ctx.Err()
+	})
+	resp = post(t, base+"/jobs", "application/json",
+		[]byte(fmt.Sprintf(`{"graph":%q,"miner":"testminer"}`, sg.ID)))
+	pending := decodeJSON[JobSnapshot](t, resp.Body)
+	resp.Body.Close()
+	check(get(t, base+"/jobs/"+pending.ID+"/result"), http.StatusConflict, "not finished")
+}
+
+// TestServerUploadBodyLimit: oversized graph uploads are rejected with
+// 413 and register nothing.
+func TestServerUploadBodyLimit(t *testing.T) {
+	srv := New(Config{Runners: 1, QueueCap: 1, CacheCap: 1, MaxUploadBytes: 64})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	big := bytes.Repeat([]byte("# padding line beyond the byte budget\n"), 8)
+	resp := post(t, ts.URL+"/graphs", "text/plain", big)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized upload status %d, want 413", resp.StatusCode)
+	}
+	if srv.Store().Len() != 0 {
+		t.Error("oversized upload registered a graph")
+	}
+}
+
+// streamEvents consumes GET /jobs/{id}/events as NDJSON, returning the
+// progress events and the terminal status record. onEvent (optional) is
+// invoked once on the first progress event.
+func streamEvents(t *testing.T, base, jobID string, onFirst func(mine.ProgressEvent) bool) ([]mine.ProgressEvent, map[string]string) {
+	t.Helper()
+	resp := get(t, base+"/jobs/"+jobID+"/events")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events stream status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("events Content-Type %q", ct)
+	}
+	var events []mine.ProgressEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	fired := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		// The terminal record is the only line with a "status" key.
+		var probe map[string]json.RawMessage
+		if err := json.Unmarshal(line, &probe); err != nil {
+			t.Fatalf("bad NDJSON line %s: %v", line, err)
+		}
+		if _, terminal := probe["status"]; terminal {
+			var final map[string]string
+			if err := json.Unmarshal(line, &final); err != nil {
+				t.Fatal(err)
+			}
+			return events, final
+		}
+		var ev mine.ProgressEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("bad progress line %s: %v", line, err)
+		}
+		events = append(events, ev)
+		if onFirst != nil && !fired {
+			fired = true
+			onFirst(ev)
+		}
+	}
+	t.Fatalf("events stream for %s ended without a terminal record (err %v)", jobID, sc.Err())
+	return nil, nil
+}
+
+func fetchResult(t *testing.T, base, jobID string, wantCode int) resultEnvelope {
+	t.Helper()
+	resp := get(t, base+"/jobs/"+jobID+"/result")
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("result status %d, want %d: %s", resp.StatusCode, wantCode, raw)
+	}
+	return decodeJSON[resultEnvelope](t, resp.Body)
+}
+
+// resultEnvelope mirrors resultJSON on the client side, with patterns
+// left raw (pattern JSON is exercised by internal/pattern's own tests).
+type resultEnvelope struct {
+	Job       string            `json:"job"`
+	Status    Status            `json:"status"`
+	Miner     string            `json:"miner"`
+	Truncated string            `json:"truncated"`
+	Error     string            `json:"error"`
+	Cached    bool              `json:"cached"`
+	Patterns  []json.RawMessage `json:"patterns"`
+}
+
+func stages(events []mine.ProgressEvent) []string {
+	out := make([]string, len(events))
+	for i, ev := range events {
+		out[i] = ev.Stage
+	}
+	return out
+}

@@ -1,0 +1,377 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/mine"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Runners is the number of concurrent mining runners (min 1).
+	Runners int
+	// QueueCap bounds the FIFO job queue; a full queue rejects
+	// submissions with 503 (min 1).
+	QueueCap int
+	// CacheCap bounds the result cache in entries; <= 0 disables
+	// caching.
+	CacheCap int
+	// JobsCap bounds how many jobs stay registered; past it the oldest
+	// terminal jobs are evicted (default 4096).
+	JobsCap int
+	// MaxUploadBytes bounds a POST /graphs request body; oversized
+	// uploads get 413 (default 256 MiB).
+	MaxUploadBytes int64
+}
+
+// Server is the HTTP/JSON mining service: an http.Handler exposing the
+// graph store, the job scheduler, and the result cache.
+//
+// Endpoints:
+//
+//	GET    /healthz           liveness
+//	GET    /stats             cache + queue statistics
+//	GET    /miners            registered miners
+//	POST   /graphs            upload an LG-format host; dedupes by content fingerprint
+//	GET    /graphs            list registered graphs
+//	GET    /graphs/{id}       one graph's metadata
+//	POST   /jobs              submit {graph, miner, options}; cache hits complete instantly
+//	GET    /jobs              list jobs in submission order
+//	GET    /jobs/{id}         job status snapshot
+//	DELETE /jobs/{id}         cancel; the run winds down to committed partials
+//	GET    /jobs/{id}/events  NDJSON progress stream, terminated by a status record
+//	GET    /jobs/{id}/result  terminal result (partials included for canceled jobs)
+type Server struct {
+	store     *Store
+	cache     *Cache
+	sched     *Scheduler
+	mux       *http.ServeMux
+	maxUpload int64
+}
+
+// New assembles a Server and starts its scheduler runners.
+func New(cfg Config) *Server {
+	if cfg.MaxUploadBytes <= 0 {
+		cfg.MaxUploadBytes = 256 << 20
+	}
+	s := &Server{
+		store:     NewStore(),
+		cache:     NewCache(cfg.CacheCap),
+		mux:       http.NewServeMux(),
+		maxUpload: cfg.MaxUploadBytes,
+	}
+	s.sched = NewScheduler(s.cache, cfg.Runners, cfg.QueueCap)
+	if cfg.JobsCap > 0 {
+		s.sched.retain = cfg.JobsCap
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /miners", s.handleMiners)
+	s.mux.HandleFunc("POST /graphs", s.handleUploadGraph)
+	s.mux.HandleFunc("GET /graphs", s.handleListGraphs)
+	s.mux.HandleFunc("GET /graphs/{id}", s.handleGetGraph)
+	s.mux.HandleFunc("POST /jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Store exposes the graph store (for embedding and tests).
+func (s *Server) Store() *Store { return s.store }
+
+// Scheduler exposes the job scheduler (for embedding and tests).
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// Shutdown drains the scheduler (see Scheduler.Shutdown): graceful until
+// ctx fires, then in-flight jobs are cancelled into committed partials.
+// Callers should stop HTTP intake (http.Server.Shutdown) alongside.
+func (s *Server) Shutdown(ctx context.Context) { s.sched.Shutdown(ctx) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cache":       s.cache.Stats(),
+		"queue_depth": s.sched.QueueDepth(),
+		"graphs":      s.store.Len(),
+	})
+}
+
+func (s *Server) handleMiners(w http.ResponseWriter, r *http.Request) {
+	type minerInfo struct {
+		Name        string `json:"name"`
+		Description string `json:"description"`
+	}
+	var out []minerInfo
+	for _, name := range mine.Names() {
+		m, err := mine.Get(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, minerInfo{Name: name, Description: m.Describe()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleUploadGraph(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.maxUpload)
+	sg, existed, err := s.store.ReadLG(body, r.URL.Query().Get("name"))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("serve: upload exceeds %d bytes", s.maxUpload))
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	code := http.StatusCreated
+	if existed {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, sg)
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.List())
+}
+
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	sg, ok := s.store.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown graph %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, sg)
+}
+
+// optionsJSON is the wire form of mine.Options (OnProgress has no wire
+// form; progress streams via /jobs/{id}/events).
+type optionsJSON struct {
+	MinSupport       int     `json:"min_support,omitempty"`
+	K                int     `json:"k,omitempty"`
+	Dmax             int     `json:"dmax,omitempty"`
+	Epsilon          float64 `json:"epsilon,omitempty"`
+	Radius           int     `json:"radius,omitempty"`
+	Vmin             int     `json:"vmin,omitempty"`
+	Measure          string  `json:"measure,omitempty"`
+	Seed             int64   `json:"seed,omitempty"`
+	Workers          int     `json:"workers,omitempty"`
+	MaxPatterns      int     `json:"max_patterns,omitempty"`
+	MaxWallClockMS   int64   `json:"max_wall_clock_ms,omitempty"`
+	MaxEmbeddings    int     `json:"max_embeddings,omitempty"`
+	MaxSpiders       int     `json:"max_spiders,omitempty"`
+	MaxLeavesPerStar int     `json:"max_leaves_per_star,omitempty"`
+}
+
+func (o optionsJSON) toOptions() mine.Options {
+	return mine.Options{
+		MinSupport:       o.MinSupport,
+		K:                o.K,
+		Dmax:             o.Dmax,
+		Epsilon:          o.Epsilon,
+		Radius:           o.Radius,
+		Vmin:             o.Vmin,
+		Measure:          mine.Measure(o.Measure),
+		Seed:             o.Seed,
+		Workers:          o.Workers,
+		MaxPatterns:      o.MaxPatterns,
+		MaxWallClock:     time.Duration(o.MaxWallClockMS) * time.Millisecond,
+		MaxEmbeddings:    o.MaxEmbeddings,
+		MaxSpiders:       o.MaxSpiders,
+		MaxLeavesPerStar: o.MaxLeavesPerStar,
+	}
+}
+
+type jobRequest struct {
+	Graph   string      `json:"graph"`
+	Miner   string      `json:"miner"`
+	Options optionsJSON `json:"options"`
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req jobRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad job request: %w", err))
+		return
+	}
+	if req.Miner == "" {
+		req.Miner = "spidermine"
+	}
+	sg, ok := s.store.Get(req.Graph)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown graph %q (upload via POST /graphs)", req.Graph))
+		return
+	}
+	opts := req.Options.toOptions()
+	// Surface request-validation errors (unknown measure) at submit time
+	// rather than as a failed job.
+	if err := opts.Measure.Valid(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.sched.Submit(sg, req.Miner, opts)
+	switch {
+	case errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	snap := job.Snapshot()
+	code := http.StatusAccepted
+	if snap.Cached {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, snap)
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.sched.List()
+	out := make([]JobSnapshot, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Snapshot())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := s.sched.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", r.PathValue("id")))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Snapshot())
+	}
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	// Cancel on the job we already hold: a concurrent retention eviction
+	// must not turn a legitimate DELETE into an unknown-job error.
+	j.RequestCancel()
+	writeJSON(w, http.StatusAccepted, j.Snapshot())
+}
+
+// handleJobEvents streams the job's progress as NDJSON: one
+// mine.ProgressEvent JSON object per line, in order, from the beginning
+// of the job (late subscribers catch up first), terminated by a final
+// status record {"status": ..., "truncated": ..., "error": ...} once the
+// job is terminal.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	// Push the status line and headers out before the first event: a
+	// queued job may not produce bytes for a while, and an unflushed
+	// response looks dead to clients and proxies.
+	rc.Flush()
+	enc := json.NewEncoder(w)
+	from := 0
+	for {
+		events, done, err := j.WaitEvents(r.Context(), from)
+		if err != nil {
+			return // client went away
+		}
+		for _, ev := range events {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+		from += len(events)
+		if done {
+			snap := j.Snapshot()
+			enc.Encode(map[string]string{
+				"status":    string(snap.Status),
+				"truncated": snap.Truncated,
+				"error":     snap.Error,
+			})
+			rc.Flush()
+			return
+		}
+		rc.Flush()
+	}
+}
+
+// resultJSON is the wire form of a terminal job's result. For canceled
+// jobs it carries the deterministic committed partial patterns together
+// with the context error — the HTTP projection of the façade's
+// budgets-truncate / contexts-error contract.
+type resultJSON struct {
+	Job       string          `json:"job"`
+	Status    Status          `json:"status"`
+	Miner     string          `json:"miner"`
+	Truncated string          `json:"truncated,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Cached    bool            `json:"cached,omitempty"`
+	Stats     mine.Stats      `json:"stats"`
+	Patterns  []*mine.Pattern `json:"patterns"`
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	res, done, err := j.Outcome()
+	if !done {
+		writeError(w, http.StatusConflict, fmt.Errorf("serve: job %q is not finished (status %q)", j.ID, j.Snapshot().Status))
+		return
+	}
+	snap := j.Snapshot()
+	out := resultJSON{
+		Job: j.ID, Status: snap.Status, Miner: j.Miner,
+		Truncated: snap.Truncated, Cached: snap.Cached,
+	}
+	if err != nil {
+		out.Error = err.Error()
+	}
+	if res != nil {
+		out.Stats = res.Stats
+		out.Patterns = res.Patterns
+	}
+	if out.Patterns == nil {
+		out.Patterns = []*mine.Pattern{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

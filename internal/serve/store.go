@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// StoredGraph is one registered host graph. ID is the content
+// fingerprint (FingerprintGraph), so a graph uploaded twice — under any
+// name — registers once; Name is advisory metadata from the first
+// upload. The graph itself is immutable (the package-wide contract of
+// internal/graph), so StoredGraph is safe for concurrent reads.
+type StoredGraph struct {
+	ID       string    `json:"id"`
+	Name     string    `json:"name,omitempty"`
+	Vertices int       `json:"vertices"`
+	Edges    int       `json:"edges"`
+	Uploaded time.Time `json:"uploaded"`
+
+	G *graph.Graph `json:"-"`
+}
+
+// Store is the concurrent registry of uploaded host graphs, keyed by
+// content fingerprint.
+type Store struct {
+	mu    sync.RWMutex
+	byID  map[string]*StoredGraph
+	order []string // registration order, for stable listings
+}
+
+// NewStore returns an empty graph store.
+func NewStore() *Store {
+	return &Store{byID: make(map[string]*StoredGraph)}
+}
+
+// Add registers a graph under its content fingerprint and returns the
+// stored record. If a graph with the same content is already registered,
+// the existing record is returned (its original name kept) and existed
+// is true.
+func (s *Store) Add(g *graph.Graph, name string) (sg *StoredGraph, existed bool) {
+	id := FingerprintGraph(g)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.byID[id]; ok {
+		return prev, true
+	}
+	sg = &StoredGraph{
+		ID: id, Name: name,
+		Vertices: g.N(), Edges: g.M(),
+		Uploaded: time.Now().UTC(),
+		G:        g,
+	}
+	s.byID[id] = sg
+	s.order = append(s.order, id)
+	return sg, false
+}
+
+// ReadLG parses an LG-format graph from r and registers it. Malformed
+// input is rejected by the reader's validation (positional errors for
+// duplicate vertex ids, undefined edge endpoints, second headers) and
+// nothing is registered.
+func (s *Store) ReadLG(r io.Reader, fallbackName string) (sg *StoredGraph, existed bool, err error) {
+	g, name, err := graph.ReadLG(r)
+	if err != nil {
+		return nil, false, err
+	}
+	if g.N() == 0 {
+		return nil, false, fmt.Errorf("serve: empty graph upload (no vertices)")
+	}
+	if name == "" {
+		name = fallbackName
+	}
+	sg, existed = s.Add(g, name)
+	return sg, existed, nil
+}
+
+// Get looks a graph up by fingerprint id.
+func (s *Store) Get(id string) (*StoredGraph, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sg, ok := s.byID[id]
+	return sg, ok
+}
+
+// List returns the registered graphs in registration order.
+func (s *Store) List() []*StoredGraph {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*StoredGraph, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.byID[id])
+	}
+	return out
+}
+
+// Len reports how many graphs are registered.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byID)
+}

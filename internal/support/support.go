@@ -14,6 +14,17 @@
 // All measures are anti-monotone in their exact form; the greedy
 // approximations preserve anti-monotonicity closely enough for mining (the
 // paper relies on the same downward-closure argument).
+//
+// The exact measures form a refinement hierarchy — VertexDisjoint <=
+// EdgeDisjoint <= CountAll and VertexDisjoint <= HarmfulOverlap <=
+// CountAll — because every vertex-disjoint embedding set is also
+// edge-disjoint and free of harmful overlaps. A lone greedy scan does
+// not inherit the hierarchy (an early pick under the looser conflict
+// relation can block several embeddings the stricter greedy would have
+// kept), so EdgeDisjoint and HarmfulOverlap return the max of their own
+// greedy bound and the vertex-disjoint one; both remain valid lower
+// bounds of the exact measure, and the hierarchy holds by construction
+// (TestQuickMeasureHierarchy).
 package support
 
 import (
@@ -135,6 +146,15 @@ func edgeDisjoint(p *graph.Graph, embs []pattern.Embedding) int {
 		}
 		count++
 	}
+	if count < len(embs) {
+		// A vertex-disjoint set is edge-disjoint, so its greedy bound is
+		// also a valid edge-disjoint lower bound — taking the max keeps
+		// the measure hierarchy (VertexDisjoint <= EdgeDisjoint) intact
+		// against greedy scan-order artifacts.
+		if vd := vertexDisjoint(p, embs); vd > count {
+			count = vd
+		}
+	}
 	return count
 }
 
@@ -198,6 +218,15 @@ func harmfulOverlap(p *graph.Graph, embs []pattern.Embedding) int {
 			used[slot{hv, colors[pv]}] = struct{}{}
 		}
 		count++
+	}
+	if count < len(embs) {
+		// A vertex-disjoint set has no harmful overlaps, so its greedy
+		// bound is also a valid harmful-overlap lower bound — the max
+		// keeps VertexDisjoint <= HarmfulOverlap against greedy
+		// scan-order artifacts.
+		if vd := vertexDisjoint(p, embs); vd > count {
+			count = vd
+		}
 	}
 	return count
 }

@@ -137,6 +137,13 @@ func TestQuickMeasureHierarchy(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Fatal(err)
 	}
+	// Regression: this seed produced a greedy harmful-overlap bound
+	// *below* the vertex-disjoint one (an early pick blocked three
+	// later, mutually vertex-disjoint embeddings) before the measures
+	// took the max with the vertex-disjoint greedy.
+	if !f(-4170806068862583888) {
+		t.Error("hierarchy violated on the recorded regression seed")
+	}
 }
 
 func boolToInt(b bool) int {

@@ -97,6 +97,54 @@ func TestWallClockBudgetIsNotAnError(t *testing.T) {
 	}
 }
 
+// TestCallerCancelDuringWallClockBudget: regression — a *caller* ctx
+// cancelled while the MaxWallClock timeout child is live must still be
+// classified as the caller's error (ctx.Err() plus committed partials),
+// never as budget truncation. The classification keys on the fired
+// context's cause, so the live budget timer cannot mask the cancel.
+func TestCallerCancelDuringWallClockBudget(t *testing.T) {
+	m, _ := Get("spidermine")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := m.Mine(ctx, SingleGraph(slowHost()), Options{
+		MinSupport: 3, K: 10, Dmax: 4, Seed: 9,
+		MaxWallClock: time.Hour, // far beyond the run: only the cancel can fire
+		OnProgress: func(ev ProgressEvent) {
+			if ev.Stage == "growth" && ev.Iteration == 1 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled (caller cancel misread as budget truncation)", err)
+	}
+	if res == nil {
+		t.Fatal("nil Result: cancelled runs must carry committed partials")
+	}
+	if res.Truncated != TruncatedCanceled {
+		t.Errorf("Truncated = %q, want %q", res.Truncated, TruncatedCanceled)
+	}
+}
+
+// TestWallClockBudgetWithCancellableCaller: the complementary ordering —
+// the budget fires under a caller ctx that *could* fire but never does;
+// the run must come back as a truncation with a nil error.
+func TestWallClockBudgetWithCancellableCaller(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m, _ := Get("spidermine")
+	res, err := m.Mine(ctx, SingleGraph(slowHost()), Options{
+		MinSupport: 3, K: 10, Dmax: 4, Seed: 9,
+		MaxWallClock: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("budget exhaustion surfaced as error: %v", err)
+	}
+	if res.Truncated != TruncatedDeadline {
+		t.Errorf("Truncated = %q, want %q", res.Truncated, TruncatedDeadline)
+	}
+}
+
 // TestCallerDeadlineIsAnError: the same wall-clock stop via the caller's
 // ctx *is* an error — the caller asked for it and must see ctx.Err().
 func TestCallerDeadlineIsAnError(t *testing.T) {

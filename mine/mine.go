@@ -109,6 +109,14 @@ const (
 	MeasureHarmful Measure = "harmful"
 )
 
+// Valid reports whether the measure is one of the defined values; the
+// error names the accepted ones. Serving surfaces use it to reject a
+// request before scheduling work.
+func (m Measure) Valid() error {
+	_, err := m.internal(support.CountAll)
+	return err
+}
+
 // internal maps a Measure to the internal support constant; def is the
 // miner's customary measure for MeasureDefault.
 func (m Measure) internal(def support.Measure) (support.Measure, error) {
@@ -179,16 +187,20 @@ type Options struct {
 	OnProgress func(ProgressEvent)
 }
 
-// ProgressEvent is one streaming stage report from a run.
+// ProgressEvent is one streaming stage report from a run. The JSON form
+// (used verbatim as the NDJSON wire format of serving surfaces) keys
+// fields in lower snake case and carries Elapsed in nanoseconds, the
+// time.Duration integer encoding; zero-valued optional counters are
+// omitted.
 type ProgressEvent struct {
-	Miner     string        // registry name of the reporting miner
-	Stage     string        // miner-specific stage name ("spiders", "growth", ...)
-	Restart   int           // randomized restart index, where applicable
-	Iteration int           // 1-based iteration within the stage
-	Spiders   int           // |S_all| after Stage I (SpiderMine)
-	Patterns  int           // current working-set / result size
-	Merges    int           // cumulative merges (SpiderMine)
-	Elapsed   time.Duration // wall-clock since the run started
+	Miner     string        `json:"miner"`               // registry name of the reporting miner
+	Stage     string        `json:"stage"`               // miner-specific stage name ("spiders", "growth", ...)
+	Restart   int           `json:"restart,omitempty"`   // randomized restart index, where applicable
+	Iteration int           `json:"iteration,omitempty"` // 1-based iteration within the stage
+	Spiders   int           `json:"spiders,omitempty"`   // |S_all| after Stage I (SpiderMine)
+	Patterns  int           `json:"patterns"`            // current working-set / result size
+	Merges    int           `json:"merges,omitempty"`    // cumulative merges (SpiderMine)
+	Elapsed   time.Duration `json:"elapsed_ns"`          // wall-clock since the run started
 }
 
 // Truncation says why a Result carries fewer patterns than an unbounded
@@ -212,23 +224,25 @@ const (
 	TruncatedBudget Truncation = "budget"
 )
 
-// StageTime records one stage's wall-clock share.
+// StageTime records one stage's wall-clock share. Durations marshal as
+// nanoseconds (the time.Duration integer encoding), matching
+// ProgressEvent's wire form.
 type StageTime struct {
-	Name     string
-	Duration time.Duration
+	Name     string        `json:"name"`
+	Duration time.Duration `json:"duration_ns"`
 }
 
 // Stats is the uniform per-run statistics block. Fields a miner does not
 // track stay zero.
 type Stats struct {
-	Spiders        int           // |S_all| mined in Stage I (SpiderMine)
-	SeedDraws      int           // Lemma 2's M (SpiderMine)
-	GrowIterations int           // growth iterations executed
-	Merges         int           // successful merges
-	IsoSkipped     int64         // isomorphism tests pruned away
-	IsoRun         int64         // exact isomorphism tests executed
-	Stages         []StageTime   // per-stage wall-clock, in stage order
-	Elapsed        time.Duration // total wall-clock of the run
+	Spiders        int           `json:"spiders,omitempty"`         // |S_all| mined in Stage I (SpiderMine)
+	SeedDraws      int           `json:"seed_draws,omitempty"`      // Lemma 2's M (SpiderMine)
+	GrowIterations int           `json:"grow_iterations,omitempty"` // growth iterations executed
+	Merges         int           `json:"merges,omitempty"`          // successful merges
+	IsoSkipped     int64         `json:"iso_skipped,omitempty"`     // isomorphism tests pruned away
+	IsoRun         int64         `json:"iso_run,omitempty"`         // exact isomorphism tests executed
+	Stages         []StageTime   `json:"stages,omitempty"`          // per-stage wall-clock, in stage order
+	Elapsed        time.Duration `json:"elapsed_ns"`                // total wall-clock of the run
 }
 
 // Result is the uniform mining output: patterns (largest-first, as each

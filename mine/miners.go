@@ -39,6 +39,17 @@ type adapter struct {
 func (a adapter) Name() string     { return a.name }
 func (a adapter) Describe() string { return a.desc }
 
+// errWallClockBudget is the cancellation cause of the timeout context a
+// MaxWallClock budget installs. Post-run classification keys on it: a run
+// stopped by a context whose cause is this sentinel was stopped by the
+// *budget* (truncation, nil error); any other cause means the *caller's*
+// context fired (ctx.Err() plus committed partials). context.Cause
+// latches at the instant the context fires, so the classification cannot
+// be confused by the caller's context firing between the engine's return
+// and the check here — unlike inspecting the caller's Err() after the
+// fact.
+var errWallClockBudget = errors.New("mine: MaxWallClock budget exhausted")
+
 func (a adapter) Mine(ctx context.Context, host Host, opts Options) (*Result, error) {
 	if err := host.validate(); err != nil {
 		return nil, err
@@ -49,7 +60,7 @@ func (a adapter) Mine(ctx context.Context, host Host, opts Options) (*Result, er
 	caller := ctx
 	cancel := context.CancelFunc(func() {})
 	if opts.MaxWallClock > 0 {
-		ctx, cancel = context.WithTimeout(ctx, opts.MaxWallClock)
+		ctx, cancel = context.WithTimeoutCause(ctx, opts.MaxWallClock, errWallClockBudget)
 	}
 	defer cancel()
 	start := time.Now()
@@ -72,9 +83,17 @@ func (a adapter) Mine(ctx context.Context, host Host, opts Options) (*Result, er
 		return res, nil
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if context.Cause(ctx) == errWallClockBudget {
+			// The MaxWallClock budget fired first: truncation, not an
+			// error — even if the caller's context has fired since.
+			res.Truncated = TruncatedDeadline
+			return res, nil
+		}
 		if cerr := caller.Err(); cerr != nil {
-			// The caller's own context fired: surface its error with the
-			// committed partial result.
+			// The caller's own context fired (cancel or deadline) while
+			// the run — and any live budget timeout child — was in
+			// flight: surface the caller's error with the committed
+			// partial result.
 			if errors.Is(cerr, context.DeadlineExceeded) {
 				res.Truncated = TruncatedDeadline
 			} else {
@@ -82,7 +101,8 @@ func (a adapter) Mine(ctx context.Context, host Host, opts Options) (*Result, er
 			}
 			return res, cerr
 		}
-		// Only the MaxWallClock budget fired: truncation, not an error.
+		// A context error without a fired budget or caller context: an
+		// engine-internal context stopped the run; report truncation.
 		res.Truncated = TruncatedDeadline
 		return res, nil
 	}

@@ -1,0 +1,52 @@
+package mine
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Canonical returns a stable, versioned serialization of the Options —
+// the fingerprint basis for result caches and job deduplication. Two
+// Options values with identical mining semantics produce identical
+// canonical forms regardless of how they were constructed.
+//
+// Every field that can influence a Result is included — budgets and
+// Workers too: the deterministic-parallelism contract makes *patterns*
+// worker-independent, but Stats and budget-truncated results are not, so
+// the canonical form keys on the full configuration. OnProgress is
+// excluded: progress delivery never influences mining results (and a
+// callback has no stable serialization).
+//
+// The format is versioned ("mine.Options/v1 ..."); any change to the
+// field set, field order, or encoding must bump the version so stale
+// cache entries can never alias a differently-interpreted configuration.
+func (o Options) Canonical() string {
+	var b strings.Builder
+	b.Grow(256)
+	b.WriteString("mine.Options/v1")
+	appendInt := func(key string, v int) {
+		b.WriteByte(' ')
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(strconv.Itoa(v))
+	}
+	appendInt("minsupport", o.MinSupport)
+	appendInt("k", o.K)
+	appendInt("dmax", o.Dmax)
+	b.WriteString(" epsilon=")
+	b.WriteString(strconv.FormatFloat(o.Epsilon, 'g', -1, 64))
+	appendInt("radius", o.Radius)
+	appendInt("vmin", o.Vmin)
+	b.WriteString(" measure=")
+	b.WriteString(strconv.Quote(string(o.Measure)))
+	b.WriteString(" seed=")
+	b.WriteString(strconv.FormatInt(o.Seed, 10))
+	appendInt("workers", o.Workers)
+	appendInt("maxpatterns", o.MaxPatterns)
+	b.WriteString(" maxwallclock=")
+	b.WriteString(strconv.FormatInt(int64(o.MaxWallClock), 10))
+	appendInt("maxembeddings", o.MaxEmbeddings)
+	appendInt("maxspiders", o.MaxSpiders)
+	appendInt("maxleavesperstar", o.MaxLeavesPerStar)
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package mine
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestOptionsCanonicalStable: the canonical form is versioned, identical
+// for identical configurations, and independent of the progress callback.
+func TestOptionsCanonicalStable(t *testing.T) {
+	a := Options{MinSupport: 2, K: 10, Dmax: 6, Epsilon: 0.1, Seed: 7}
+	b := Options{MinSupport: 2, K: 10, Dmax: 6, Epsilon: 0.1, Seed: 7,
+		OnProgress: func(ProgressEvent) {}}
+	ca, cb := a.Canonical(), b.Canonical()
+	if ca != cb {
+		t.Errorf("OnProgress changed the canonical form:\n%s\n%s", ca, cb)
+	}
+	const want = `mine.Options/v1 minsupport=2 k=10 dmax=6 epsilon=0.1 radius=0 vmin=0 measure="" seed=7 workers=0 maxpatterns=0 maxwallclock=0 maxembeddings=0 maxspiders=0 maxleavesperstar=0`
+	if ca != want {
+		t.Errorf("canonical form drifted (bump the version if intentional):\ngot  %s\nwant %s", ca, want)
+	}
+}
+
+// TestOptionsCanonicalDistinguishesEveryField: flipping any single
+// semantic field must change the canonical form — a collision would
+// alias two different configurations in a result cache.
+func TestOptionsCanonicalDistinguishesEveryField(t *testing.T) {
+	base := Options{}
+	variants := map[string]Options{
+		"MinSupport":       {MinSupport: 3},
+		"K":                {K: 5},
+		"Dmax":             {Dmax: 4},
+		"Epsilon":          {Epsilon: 0.25},
+		"Radius":           {Radius: 2},
+		"Vmin":             {Vmin: 12},
+		"Measure":          {Measure: MeasureDisjoint},
+		"Seed":             {Seed: 42},
+		"Workers":          {Workers: 4},
+		"MaxPatterns":      {MaxPatterns: 9},
+		"MaxWallClock":     {MaxWallClock: time.Second},
+		"MaxEmbeddings":    {MaxEmbeddings: 100},
+		"MaxSpiders":       {MaxSpiders: 1000},
+		"MaxLeavesPerStar": {MaxLeavesPerStar: 8},
+	}
+	seen := map[string]string{base.Canonical(): "zero value"}
+	for field, o := range variants {
+		c := o.Canonical()
+		if prev, dup := seen[c]; dup {
+			t.Errorf("canonical form of %s collides with %s: %s", field, prev, c)
+		}
+		seen[c] = field
+	}
+}
+
+// TestProgressEventJSON locks the NDJSON wire shape serving surfaces
+// stream: lower-snake keys, elapsed in nanoseconds, omitted zero-valued
+// optional counters.
+func TestProgressEventJSON(t *testing.T) {
+	ev := ProgressEvent{
+		Miner: "spidermine", Stage: "growth", Iteration: 3,
+		Patterns: 17, Merges: 2, Elapsed: 1500 * time.Millisecond,
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"miner":"spidermine","stage":"growth","iteration":3,"patterns":17,"merges":2,"elapsed_ns":1500000000}`
+	if string(b) != want {
+		t.Errorf("wire shape drifted:\ngot  %s\nwant %s", b, want)
+	}
+	var back ProgressEvent
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != ev {
+		t.Errorf("round trip: %+v -> %+v", ev, back)
+	}
+}

@@ -1,0 +1,109 @@
+package mine
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/support"
+)
+
+// TestHostValidate covers the request-validation error paths a serving
+// surface routes every job through: a host must set exactly one of Graph
+// and DB.
+func TestHostValidate(t *testing.T) {
+	g := motifGraph()
+	db := NewDB(g)
+	cases := []struct {
+		name    string
+		host    Host
+		wantErr string
+	}{
+		{"empty", Host{}, "empty host"},
+		{"both set", Host{Graph: g, DB: db}, "ambiguous host"},
+		{"graph only", SingleGraph(g), ""},
+		{"db only", Transactions(db), ""},
+	}
+	for _, c := range cases {
+		err := c.host.validate()
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: validate() = %v, want nil", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: validate() = %v, want error containing %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+// TestMineRejectsBadHost: every registered miner refuses an invalid host
+// before doing any work, with a nil Result.
+func TestMineRejectsBadHost(t *testing.T) {
+	g := motifGraph()
+	for _, name := range Names() {
+		m, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, host := range []Host{{}, {Graph: g, DB: NewDB(g)}} {
+			res, err := m.Mine(context.Background(), host, Options{MinSupport: 2})
+			if err == nil {
+				t.Errorf("%s: Mine accepted invalid host %+v", name, host)
+			}
+			if res != nil {
+				t.Errorf("%s: Mine returned non-nil Result for invalid host", name)
+			}
+		}
+	}
+}
+
+// TestMeasureInternal covers the Measure mapping: the three named
+// measures map to their internal constants, the default defers to the
+// miner's customary measure, and unknown strings error.
+func TestMeasureInternal(t *testing.T) {
+	cases := []struct {
+		m    Measure
+		def  support.Measure
+		want support.Measure
+	}{
+		{MeasureDefault, support.CountAll, support.CountAll},
+		{MeasureDefault, support.HarmfulOverlap, support.HarmfulOverlap},
+		{MeasureAll, support.HarmfulOverlap, support.CountAll},
+		{MeasureDisjoint, support.CountAll, support.EdgeDisjoint},
+		{MeasureHarmful, support.CountAll, support.HarmfulOverlap},
+	}
+	for _, c := range cases {
+		got, err := c.m.internal(c.def)
+		if err != nil {
+			t.Errorf("Measure(%q).internal: %v", c.m, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Measure(%q).internal = %v, want %v", c.m, got, c.want)
+		}
+	}
+	if _, err := Measure("bogus").internal(support.CountAll); err == nil ||
+		!strings.Contains(err.Error(), `unknown measure "bogus"`) {
+		t.Errorf("unknown measure error = %v", err)
+	}
+}
+
+// TestMineRejectsUnknownMeasure: the measure-honoring adapters surface
+// the unknown-measure error through Mine — the path a serving endpoint's
+// request validation relies on.
+func TestMineRejectsUnknownMeasure(t *testing.T) {
+	for _, name := range []string{"spidermine", "moss"} {
+		m, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = m.Mine(context.Background(), SingleGraph(motifGraph()), Options{
+			MinSupport: 2, Measure: "bogus",
+		})
+		if err == nil || !strings.Contains(err.Error(), "unknown measure") {
+			t.Errorf("%s: Mine with bogus measure = %v, want unknown-measure error", name, err)
+		}
+	}
+}
