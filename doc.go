@@ -67,9 +67,11 @@
 //     boundary (shallow pattern snapshots, taken only when the context is
 //     cancellable); an iteration aborted mid-flight rolls back wholesale,
 //     and the run returns ctx.Err() plus the committed patterns (σ- and
-//     Dmax-filtered, size-ordered, *without* the exact-isomorphism dedupe
-//     — worst-case exponential on unpruned hub patterns — so the return
-//     is prompt). Cancellation observed at a given boundary therefore
+//     Dmax-filtered, size-ordered, and — since the automorphism-pruned
+//     Canonizer made identity checks cheap even on unpruned hub patterns
+//     — structurally deduped like a completed run's, gated by
+//     Config.DisablePartialDedupe). Cancellation observed at a given
+//     boundary therefore
 //     yields byte-identical partial results; progress callbacks run
 //     synchronously between parallel sections, so a callback-pinned
 //     cancel is deterministic end to end (TestCancelDeterministic,
@@ -106,6 +108,26 @@
 //     epoch-stamped host marks instead of per-embedding maps, hash-deduped
 //     union subgraphs, early-exit diameter checks (graph.DiameterAtMost),
 //     and pooled BFS buffers for all eccentricity work.
+//
+// # Pattern identity
+//
+// Deciding whether two patterns are the same structure — the paper's
+// §4.2.2 economy — is tiered so the cheap necessary conditions absorb
+// almost every comparison: a 64-bit Weisfeiler–Leman invariant hash, then
+// the spider-set signature (Theorem 2: the multiset of canonical rooted
+// r-neighborhood codes, hashed), and only for signature-equal pairs an
+// exact check. The exact tier, and every rooted spider code beneath the
+// signatures, bottoms out in canon.Canonizer: a reusable, scratch-owning
+// individualization–refinement search with counting-sort equitable
+// refinement, node-invariant (trace) pruning, and automorphism/orbit
+// pruning with backjumping — so the hub-with-k-interchangeable-legs
+// shapes SpiderMine mass-produces canonicalize in O(k²) search nodes
+// (microseconds) where a naive search explores ~k! leaf orderings. Exact
+// identity is a comparison of per-pattern cached canonical codes, so a
+// pattern canonicalizes at most once however many pairs it appears in,
+// and a warm Canonizer runs allocation-free. This is why cancelled runs
+// now afford the same structural dedupe as completed ones, and
+// mine.Stats.CanonRun/CanonNodes quantify the search effort.
 //
 // # Concurrency architecture
 //

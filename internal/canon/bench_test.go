@@ -1,6 +1,7 @@
 package canon
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -42,11 +43,74 @@ func BenchmarkIsomorphicNegative(b *testing.B) {
 	}
 }
 
+// BenchmarkCanonicalCode measures the existing corpus (the random
+// 20-vertex pattern the seed benchmark used): the pooled string API and a
+// warm owned Canonizer via Append, which must run at 0 allocs/op.
 func BenchmarkCanonicalCode(b *testing.B) {
 	g := benchGraph(20, 5)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		CanonicalCode(g)
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			CanonicalCode(g)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cz := NewCanonizer()
+		var buf []byte
+		buf = cz.Append(buf, g)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = cz.Append(buf[:0], g)
+		}
+	})
+}
+
+// BenchmarkCanonicalCodeHub is the tentpole shape: a single hub with k
+// interchangeable legs, where the pre-v2 individualization search
+// explored ~k! leaf orderings (effectively non-terminating at k=64; the
+// acceptance bar is < 1ms there). Orbit pruning holds it to O(k^2)
+// search nodes.
+func BenchmarkCanonicalCodeHub(b *testing.B) {
+	for _, legs := range []int{8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("legs=%d", legs), func(b *testing.B) {
+			g := star(legs, 0, 0)
+			cz := NewCanonizer()
+			var buf []byte
+			buf = cz.Append(buf, g)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = cz.Append(buf[:0], g)
+			}
+		})
+	}
+}
+
+// BenchmarkCanonicalCodeSymmetric covers the other shapes with large
+// automorphism groups: uniform cycles, complete bipartite graphs, and
+// the hub-with-long-legs spider a cancelled run can hold.
+func BenchmarkCanonicalCodeSymmetric(b *testing.B) {
+	shapes := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"cycle32", cycle(32, 0)},
+		{"k44", completeBipartite(4, 4, 0)},
+		{"k88", completeBipartite(8, 8, 0)},
+		{"spider16x3", spiderLegs(16, 3, 0)},
+	}
+	for _, s := range shapes {
+		b.Run(s.name, func(b *testing.B) {
+			cz := NewCanonizer()
+			var buf []byte
+			buf = cz.Append(buf, s.g)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = cz.Append(buf[:0], s.g)
+			}
+		})
 	}
 }
 

@@ -1,179 +1,16 @@
 package canon
 
-import (
-	"sort"
-
-	"repro/internal/graph"
-)
+import "repro/internal/graph"
 
 // CanonicalCode returns a canonical byte-string for the labeled graph:
-// equal codes iff isomorphic graphs. It uses individualization–refinement:
-// WL colors seed an ordered partition; while any cell is non-singleton, the
-// search individualizes each vertex of the first smallest non-singleton
-// cell in turn and recurses, keeping the lexicographically smallest
-// adjacency encoding.
-//
-// Worst case is exponential in highly symmetric graphs; intended for small
-// patterns (spiders, injected patterns, test graphs). Miners use
-// Invariant + Isomorphic for the hot path.
+// equal codes iff isomorphic graphs. It is a thin wrapper over a pooled
+// Canonizer (see canonizer.go for the search: counting-sort equitable
+// refinement, node-invariant trace pruning, automorphism/orbit pruning).
+// Hot paths that canonicalize repeatedly should hold their own Canonizer
+// and use its Append method for the allocation-free contract.
 func CanonicalCode(g *graph.Graph) string {
-	n := g.N()
-	if n == 0 {
-		return ""
-	}
-	colors := VertexColors(g)
-	byColor := map[uint64][]graph.V{}
-	var keys []uint64
-	for v := 0; v < n; v++ {
-		if _, ok := byColor[colors[v]]; !ok {
-			keys = append(keys, colors[v])
-		}
-		byColor[colors[v]] = append(byColor[colors[v]], graph.V(v))
-	}
-	// Deterministic cell order: sort color keys by (label of members, color
-	// value). Label first keeps codes stable across hash seeds.
-	sort.Slice(keys, func(i, j int) bool {
-		li := g.Label(byColor[keys[i]][0])
-		lj := g.Label(byColor[keys[j]][0])
-		if li != lj {
-			return li < lj
-		}
-		return keys[i] < keys[j]
-	})
-	cells := make([]cell, 0, len(keys))
-	for _, k := range keys {
-		vs := append([]graph.V(nil), byColor[k]...)
-		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
-		cells = append(cells, cell{vs})
-	}
-
-	var best []byte
-	perm := make([]graph.V, 0, n)
-
-	var search func(cells []cell)
-	encode := func(order []graph.V) []byte {
-		out := make([]byte, 0, n+n*n/8+8)
-		for _, v := range order {
-			out = appendVarint(out, uint64(g.Label(v))+1)
-		}
-		out = append(out, 0xff)
-		// upper-triangular adjacency in order
-		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				if g.HasEdge(order[i], order[j]) {
-					out = appendVarint(out, uint64(i))
-					out = appendVarint(out, uint64(j))
-				}
-			}
-		}
-		return out
-	}
-	search = func(cells []cell) {
-		// Find first smallest non-singleton cell.
-		idx := -1
-		for i, c := range cells {
-			if len(c.verts) > 1 && (idx < 0 || len(c.verts) < len(cells[idx].verts)) {
-				idx = i
-			}
-		}
-		if idx < 0 {
-			// Discrete: produce code.
-			perm = perm[:0]
-			for _, c := range cells {
-				perm = append(perm, c.verts[0])
-			}
-			code := encode(perm)
-			if best == nil || lessBytes(code, best) {
-				best = append(best[:0], code...)
-			}
-			return
-		}
-		target := cells[idx]
-		for _, v := range target.verts {
-			rest := make([]graph.V, 0, len(target.verts)-1)
-			for _, u := range target.verts {
-				if u != v {
-					rest = append(rest, u)
-				}
-			}
-			next := make([]cell, 0, len(cells)+1)
-			next = append(next, cells[:idx]...)
-			next = append(next, cell{[]graph.V{v}})
-			next = append(next, cell{rest})
-			next = append(next, cells[idx+1:]...)
-			search(refine(g, next))
-		}
-	}
-	search(refineCells(g, cells))
-	return string(best)
+	cz := GetCanonizer()
+	s := cz.Code(g)
+	PutCanonizer(cz)
+	return s
 }
-
-func lessBytes(a, b []byte) bool {
-	for i := 0; i < len(a) && i < len(b); i++ {
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
-	}
-	return len(a) < len(b)
-}
-
-type cell struct{ verts []graph.V }
-
-// refineCells splits cells by the multiset of neighbor cell indices until
-// stable. Deterministic: splits keep vertex-sorted order and group by
-// signature in sorted signature order.
-func refineCells(g *graph.Graph, in []cell) []cell {
-	cells := in
-	for {
-		cellOf := make([]int, g.N())
-		for i, c := range cells {
-			for _, v := range c.verts {
-				cellOf[v] = i
-			}
-		}
-		changed := false
-		var out []cell
-		for _, c := range cells {
-			if len(c.verts) <= 1 {
-				out = append(out, c)
-				continue
-			}
-			// signature: sorted neighbor cell ids
-			sig := make(map[graph.V]string, len(c.verts))
-			for _, v := range c.verts {
-				ns := make([]int, 0, g.Degree(v))
-				for _, w := range g.Neighbors(v) {
-					ns = append(ns, cellOf[w])
-				}
-				sort.Ints(ns)
-				b := make([]byte, 0, len(ns)*2)
-				for _, x := range ns {
-					b = appendVarint(b, uint64(x))
-				}
-				sig[v] = string(b)
-			}
-			groups := map[string][]graph.V{}
-			var order []string
-			for _, v := range c.verts {
-				s := sig[v]
-				if _, ok := groups[s]; !ok {
-					order = append(order, s)
-				}
-				groups[s] = append(groups[s], v)
-			}
-			sort.Strings(order)
-			if len(order) > 1 {
-				changed = true
-			}
-			for _, s := range order {
-				out = append(out, cell{groups[s]})
-			}
-		}
-		cells = out
-		if !changed {
-			return cells
-		}
-	}
-}
-
-func refine(g *graph.Graph, in []cell) []cell { return refineCells(g, in) }

@@ -1,0 +1,349 @@
+package canon
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// --- shape constructors shared by the differential tests and benchmarks ---
+
+// star returns a hub with legs leaves; hubLabel/legLabel may coincide,
+// which is the maximally symmetric (worst) case for a naive search.
+func star(legs int, hubLabel, legLabel graph.Label) *graph.Graph {
+	b := graph.NewBuilder(legs+1, legs)
+	hub := b.AddVertex(hubLabel)
+	for i := 0; i < legs; i++ {
+		b.AddEdge(hub, b.AddVertex(legLabel))
+	}
+	return b.Build()
+}
+
+// spiderLegs returns a hub with legs paths of the given length hanging off
+// it — the unpruned hub-with-interchangeable-legs monster a cancelled
+// SpiderMine run can hold.
+func spiderLegs(legs, legLen int, l graph.Label) *graph.Graph {
+	b := graph.NewBuilder(1+legs*legLen, legs*legLen)
+	hub := b.AddVertex(l)
+	for i := 0; i < legs; i++ {
+		prev := hub
+		for j := 0; j < legLen; j++ {
+			v := b.AddVertex(l)
+			b.AddEdge(prev, v)
+			prev = v
+		}
+	}
+	return b.Build()
+}
+
+func cycle(n int, l graph.Label) *graph.Graph {
+	b := graph.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.AddVertex(l)
+	}
+	for i := 0; i < n; i++ {
+		b.AddEdge(graph.V(i), graph.V((i+1)%n))
+	}
+	return b.Build()
+}
+
+func completeBipartite(p, q int, l graph.Label) *graph.Graph {
+	b := graph.NewBuilder(p+q, p*q)
+	for i := 0; i < p+q; i++ {
+		b.AddVertex(l)
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < q; j++ {
+			b.AddEdge(graph.V(i), graph.V(p+j))
+		}
+	}
+	return b.Build()
+}
+
+// relabel applies a random bijection on the label *values* of g (vertex
+// ids untouched). Unless the bijection fixes every used label, the result
+// is typically not isomorphic to g — exercising the negative direction of
+// the code/iso equivalence.
+func relabel(g *graph.Graph, rng *rand.Rand) *graph.Graph {
+	seen := map[graph.Label]graph.Label{}
+	var used []graph.Label
+	for v := 0; v < g.N(); v++ {
+		l := g.Label(graph.V(v))
+		if _, ok := seen[l]; !ok {
+			seen[l] = 0
+			used = append(used, l)
+		}
+	}
+	perm := rng.Perm(len(used))
+	for i, l := range used {
+		seen[l] = used[perm[i]]
+	}
+	b := graph.NewBuilder(g.N(), g.M())
+	for v := 0; v < g.N(); v++ {
+		b.AddVertex(seen[g.Label(graph.V(v))])
+	}
+	for _, e := range g.Edges() {
+		b.AddEdge(e.U, e.W)
+	}
+	return b.Build()
+}
+
+// bruteIso is the reference isomorphism check: try every permutation.
+// Only usable for tiny n.
+func bruteIso(a, b *graph.Graph) bool {
+	n := a.N()
+	if n != b.N() || a.M() != b.M() {
+		return false
+	}
+	perm := make([]graph.V, n)
+	usedB := make([]bool, n)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == n {
+			return true
+		}
+		for bv := 0; bv < n; bv++ {
+			if usedB[bv] || a.Label(graph.V(i)) != b.Label(graph.V(bv)) {
+				continue
+			}
+			ok := true
+			for j := 0; j < i; j++ {
+				if a.HasEdge(graph.V(i), graph.V(j)) != b.HasEdge(graph.V(bv), perm[j]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			perm[i] = graph.V(bv)
+			usedB[bv] = true
+			if rec(i + 1) {
+				return true
+			}
+			usedB[bv] = false
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// TestCanonicalCodeDifferential is the randomized three-way property test:
+// CanonicalCode(a) == CanonicalCode(b) ⇔ Isomorphic(a, b) ⇔ brute-force
+// permutation check, over generator graph pairs (permuted copies, fresh
+// random graphs, label-permuted copies).
+func TestCanonicalCodeDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	trials := 300
+	if testing.Short() {
+		trials = 60
+	}
+	cz := NewCanonizer()
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + rng.Intn(6) // brute force stays feasible
+		a := randomGraph(n, 1+rng.Intn(2*n), 1+rng.Intn(3), rng)
+		var b *graph.Graph
+		switch trial % 3 {
+		case 0:
+			b = permute(a, rng)
+		case 1:
+			b = randomGraph(n, 1+rng.Intn(2*n), 1+rng.Intn(3), rng)
+		default:
+			b = relabel(a, rng)
+		}
+		codeEq := cz.Code(a) == cz.Code(b)
+		isoEq := Isomorphic(a, b)
+		refEq := bruteIso(a, b)
+		if codeEq != isoEq || isoEq != refEq {
+			t.Fatalf("trial %d: code==%v iso==%v brute==%v\na=%v %v\nb=%v %v",
+				trial, codeEq, isoEq, refEq, a, a.Edges(), b, b.Edges())
+		}
+	}
+}
+
+// TestCanonicalCodeLargerPermuted drops the brute-force oracle and scales
+// n up: a permuted copy must keep its code, and Isomorphic must agree
+// with the code comparison in both directions.
+func TestCanonicalCodeLargerPermuted(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	trials := 120
+	if testing.Short() {
+		trials = 30
+	}
+	cz := NewCanonizer()
+	for trial := 0; trial < trials; trial++ {
+		n := 5 + rng.Intn(20)
+		a := randomGraph(n, n+rng.Intn(2*n), 1+rng.Intn(4), rng)
+		h := permute(a, rng)
+		if cz.Code(a) != cz.Code(h) {
+			t.Fatalf("trial %d: permuted copy changed code", trial)
+		}
+		other := randomGraph(n, a.M(), 1+rng.Intn(4), rng)
+		if (cz.Code(a) == cz.Code(other)) != Isomorphic(a, other) {
+			t.Fatalf("trial %d: code equality disagrees with Isomorphic", trial)
+		}
+	}
+}
+
+// TestCanonicalCodeSymmetricCorpus pins the shapes the old
+// individualization search blew up on: hubs with interchangeable legs,
+// long uniform cycles, complete bipartite graphs. Each shape must survive
+// a random permutation (equal codes) and separate from near-misses.
+func TestCanonicalCodeSymmetricCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	shapes := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"star8", star(8, 0, 0)},
+		{"star33", star(33, 0, 0)},
+		{"star64", star(64, 0, 0)},
+		{"star64-labeled", star(64, 1, 2)},
+		{"spider12x2", spiderLegs(12, 2, 0)},
+		{"spider8x3", spiderLegs(8, 3, 0)},
+		{"cycle16", cycle(16, 0)},
+		{"cycle33", cycle(33, 0)},
+		{"k44", completeBipartite(4, 4, 0)},
+		{"k35", completeBipartite(3, 5, 0)},
+		{"k88", completeBipartite(8, 8, 0)},
+	}
+	cz := NewCanonizer()
+	codes := make([]string, len(shapes))
+	for i, s := range shapes {
+		codes[i] = cz.Code(s.g)
+		for trial := 0; trial < 3; trial++ {
+			if got := cz.Code(permute(s.g, rng)); got != codes[i] {
+				t.Fatalf("%s: permuted copy changed code", s.name)
+			}
+		}
+	}
+	for i := range shapes {
+		for j := i + 1; j < len(shapes); j++ {
+			same := codes[i] == codes[j]
+			if iso := Isomorphic(shapes[i].g, shapes[j].g); same != iso {
+				t.Fatalf("%s vs %s: code equality %v but Isomorphic %v",
+					shapes[i].name, shapes[j].name, same, iso)
+			}
+			if same {
+				t.Fatalf("%s vs %s: distinct corpus shapes share a code", shapes[i].name, shapes[j].name)
+			}
+		}
+	}
+	// K4,4 vs the 3-cube: the classic degree-regular pair with equal
+	// (n, m, degree sequence); codes must separate them.
+	cube := graph.FromEdges(make([]graph.Label, 8), []graph.Edge{
+		{U: 0, W: 1}, {U: 1, W: 2}, {U: 2, W: 3}, {U: 3, W: 0},
+		{U: 4, W: 5}, {U: 5, W: 6}, {U: 6, W: 7}, {U: 7, W: 4},
+		{U: 0, W: 4}, {U: 1, W: 5}, {U: 2, W: 6}, {U: 3, W: 7},
+	})
+	if cz.Code(cube) == cz.Code(completeBipartite(4, 4, 0)) {
+		t.Fatal("Q3 and K4,4 share a code")
+	}
+	// C6 vs 2×C3: WL-equivalent when disconnected; codes must differ.
+	c6 := cycle(6, 0)
+	cc := graph.FromEdges(make([]graph.Label, 6), []graph.Edge{
+		{U: 0, W: 1}, {U: 1, W: 2}, {U: 0, W: 2},
+		{U: 3, W: 4}, {U: 4, W: 5}, {U: 3, W: 5},
+	})
+	if cz.Code(c6) == cz.Code(cc) {
+		t.Fatal("C6 and 2xC3 share a code")
+	}
+}
+
+// TestCanonicalCodeHubTerminates is the regression for the tentpole: the
+// 64-leg single-hub spider was effectively non-terminating (~64! leaf
+// orderings) under the old search. The test both proves termination (a
+// factorial regression would hit the package timeout) and checks codes
+// across permutations and leg-order rebuilds. Search-node counters pin
+// the polynomial behavior with headroom.
+func TestCanonicalCodeHubTerminates(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	cz := NewCanonizer()
+	for _, legs := range []int{8, 16, 32, 64} {
+		g := star(legs, 0, 0)
+		cz.Nodes = 0
+		code := cz.Code(g)
+		if nodes := cz.Nodes; nodes > int64(8*legs*legs) {
+			t.Fatalf("legs=%d: %d search nodes — orbit pruning not engaging", legs, nodes)
+		}
+		if cz.Code(permute(g, rng)) != code {
+			t.Fatalf("legs=%d: permuted star changed code", legs)
+		}
+		if cz.Code(star(legs+1, 0, 0)) == code {
+			t.Fatalf("legs=%d: star codes collide across sizes", legs)
+		}
+	}
+	// The monster from the cancelled-run path: hub of long legs.
+	g := spiderLegs(24, 3, 0)
+	if cz.Code(g) != cz.Code(permute(g, rng)) {
+		t.Fatal("24x3 spider: permuted copy changed code")
+	}
+}
+
+// TestCanonizerWarmNoAlloc pins the allocation-free contract of a warm
+// Canonizer's Append on representative shapes.
+func TestCanonizerWarmNoAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	graphs := []*graph.Graph{
+		randomGraph(20, 40, 4, rng),
+		star(64, 0, 0),
+		cycle(32, 0),
+		completeBipartite(4, 4, 0),
+	}
+	cz := NewCanonizer()
+	var buf []byte
+	for _, g := range graphs {
+		buf = cz.Append(buf[:0], g) // warm every shape first
+	}
+	for i, g := range graphs {
+		g := g
+		allocs := testing.AllocsPerRun(20, func() {
+			buf = cz.Append(buf[:0], g)
+		})
+		if allocs != 0 {
+			t.Fatalf("graph %d (%v): warm Append allocates %.1f/op", i, g, allocs)
+		}
+	}
+}
+
+// TestCanonicalCodeMatchesPoolPath: the package-level wrapper and a
+// dedicated Canonizer must agree (they share the implementation, but the
+// pool path must not leak state between borrowers).
+func TestCanonicalCodeMatchesPoolPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	cz := NewCanonizer()
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(3+rng.Intn(12), 2+rng.Intn(20), 1+rng.Intn(3), rng)
+		if CanonicalCode(g) != cz.Code(g) {
+			t.Fatalf("trial %d: pooled and owned canonizer disagree", trial)
+		}
+	}
+}
+
+// TestCanonizerStateReuse interleaves graphs of very different sizes
+// through one Canonizer to shake out stale-scratch bugs.
+func TestCanonizerStateReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	cz := NewCanonizer()
+	want := map[string]string{}
+	build := []*graph.Graph{
+		star(64, 0, 0),
+		path(1, 2, 3),
+		cycle(16, 0),
+		star(3, 1, 1),
+		randomGraph(25, 50, 3, rng),
+		path(0, 0),
+	}
+	for i, g := range build {
+		want[fmt.Sprint(i)] = cz.Code(g)
+	}
+	for rep := 0; rep < 3; rep++ {
+		for i, g := range build {
+			if got := cz.Code(g); got != want[fmt.Sprint(i)] {
+				t.Fatalf("rep %d graph %d: code changed across reuse", rep, i)
+			}
+		}
+	}
+}

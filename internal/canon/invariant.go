@@ -1,13 +1,15 @@
 // Package canon provides labeled-graph canonicalization and isomorphism
 // machinery: a Weisfeiler–Leman style isomorphism-invariant hash, exact
 // labeled graph isomorphism, VF2-style subgraph isomorphism with embedding
-// enumeration, and a canonical code for small graphs.
+// enumeration, and an automorphism-pruned canonical code (Canonizer).
 //
 // Pattern identity in the miners is decided in three tiers:
 //  1. Invariant hash (cheap, collision-prone only across genuinely
 //     WL-equivalent graphs),
 //  2. spider-set signature (see internal/pattern),
-//  3. exact Isomorphic check.
+//  3. exact check — canonical-code comparison via a reusable Canonizer
+//     (cached per pattern by consumers), with Isomorphic retained for
+//     one-off pairwise tests.
 package canon
 
 import (

@@ -51,7 +51,7 @@ func Isomorphic(a, b *graph.Graph) bool {
 			if used[bv] {
 				continue
 			}
-			if !consistent(a, b, av, bv, mapping) {
+			if !consistent(a, b, av, bv, mapping, used) {
 				continue
 			}
 			mapping[av] = bv
@@ -70,7 +70,11 @@ func Isomorphic(a, b *graph.Graph) bool {
 // consistent checks that mapping av->bv preserves adjacency with all
 // already-mapped vertices, in both directions (degree equality plus this
 // check gives full adjacency preservation once all vertices are mapped).
-func consistent(a, b *graph.Graph, av, bv graph.V, mapping []graph.V) bool {
+// isMapped is the reverse-image indicator maintained alongside mapping
+// (isMapped[bw] iff some a-vertex maps to bw), turning the reverse
+// adjacency count into an O(deg) scan instead of an O(n) search per
+// neighbor.
+func consistent(a, b *graph.Graph, av, bv graph.V, mapping []graph.V, isMapped []bool) bool {
 	if a.Label(av) != b.Label(bv) || a.Degree(av) != b.Degree(bv) {
 		return false
 	}
@@ -87,20 +91,11 @@ func consistent(a, b *graph.Graph, av, bv graph.V, mapping []graph.V) bool {
 	// than av is to mapped a-vertices.
 	cnt := 0
 	for _, bw := range b.Neighbors(bv) {
-		if isImage(mapping, bw) {
+		if isMapped[bw] {
 			cnt++
 		}
 	}
 	return cnt == mappedNeighbors
-}
-
-func isImage(mapping []graph.V, bv graph.V) bool {
-	for _, m := range mapping {
-		if m == bv {
-			return true
-		}
-	}
-	return false
 }
 
 func sameProfile(a, b *graph.Graph) bool {

@@ -41,7 +41,7 @@ func IsomorphismMapping(a, b *graph.Graph) Mapping {
 			if used[bv] {
 				continue
 			}
-			if !consistent(a, b, av, bv, mapping) {
+			if !consistent(a, b, av, bv, mapping, used) {
 				continue
 			}
 			mapping[av] = bv

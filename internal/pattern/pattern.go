@@ -61,6 +61,8 @@ type Pattern struct {
 	spiderSig uint64
 	sigOK     bool
 	sigRadius int
+	canonCode string
+	codeOK    bool
 }
 
 // New creates a pattern with the given graph and embeddings.
@@ -92,6 +94,21 @@ func (p *Pattern) Invariant() uint64 {
 func (p *Pattern) InvalidateCaches() {
 	p.invOK = false
 	p.sigOK = false
+	p.codeOK = false
+}
+
+// CanonicalCodeWith returns the canonical code of the pattern graph,
+// cached; a miss canonicalizes through the caller's Canonizer. Equal
+// codes iff isomorphic pattern graphs, so repeated exact identity checks
+// against a pattern pay for one canonicalization, then compare strings.
+// The cache is unsynchronized: concurrent calls are only safe on distinct
+// patterns.
+func (p *Pattern) CanonicalCodeWith(cz *canon.Canonizer) string {
+	if !p.codeOK {
+		p.canonCode = cz.Code(p.G)
+		p.codeOK = true
+	}
+	return p.canonCode
 }
 
 // String summarizes the pattern.
@@ -154,7 +171,8 @@ func (p *Pattern) UsesHostVertex(hv graph.V) (int, bool) {
 
 // SameStructure reports whether two patterns have isomorphic pattern
 // graphs, using the tiered check: invariant hash, then spider-set
-// signature, then exact isomorphism.
+// signature, then exact identity via cached canonical codes (each
+// pattern canonicalizes once, however many pairs it is compared in).
 func SameStructure(a, b *Pattern, r int) bool {
 	if a.G.N() != b.G.N() || a.G.M() != b.G.M() {
 		return false
@@ -162,8 +180,10 @@ func SameStructure(a, b *Pattern, r int) bool {
 	if a.Invariant() != b.Invariant() {
 		return false
 	}
-	if a.SpiderSetSignature(r) != b.SpiderSetSignature(r) {
+	cz := canon.GetCanonizer()
+	defer canon.PutCanonizer(cz)
+	if a.SpiderSetSignatureWith(cz, r) != b.SpiderSetSignatureWith(cz, r) {
 		return false
 	}
-	return canon.Isomorphic(a.G, b.G)
+	return a.CanonicalCodeWith(cz) == b.CanonicalCodeWith(cz)
 }

@@ -17,6 +17,16 @@ const headMarker graph.Label = 1 << 24
 // vertices get equal codes iff their r-neighborhood subgraphs are
 // isomorphic by a head-preserving isomorphism.
 func RootedSpiderCode(p *graph.Graph, v graph.V, r int) string {
+	cz := canon.GetCanonizer()
+	code := RootedSpiderCodeWith(cz, p, v, r)
+	canon.PutCanonizer(cz)
+	return code
+}
+
+// RootedSpiderCodeWith is RootedSpiderCode canonicalizing through the
+// caller's Canonizer; hot paths that code many spiders reuse one
+// Canonizer's scratch (and its Runs/Nodes counters) across all of them.
+func RootedSpiderCodeWith(cz *canon.Canonizer, p *graph.Graph, v graph.V, r int) string {
 	sub, orig := p.Neighborhood(v, r)
 	// Find v's index in the neighborhood and individualize its label.
 	b := graph.NewBuilder(sub.N(), sub.M())
@@ -30,7 +40,7 @@ func RootedSpiderCode(p *graph.Graph, v graph.V, r int) string {
 	for _, e := range sub.Edges() {
 		b.AddEdge(e.U, e.W)
 	}
-	return canon.CanonicalCode(b.Build())
+	return cz.Code(b.Build())
 }
 
 // SpiderSet returns the spider-set representation S[P]: the multiset of
@@ -38,9 +48,18 @@ func RootedSpiderCode(p *graph.Graph, v graph.V, r int) string {
 // (Figure 3 of the paper; Theorem 2: isomorphic patterns have equal
 // spider-sets.)
 func SpiderSet(p *graph.Graph, r int) []string {
+	cz := canon.GetCanonizer()
+	codes := SpiderSetWith(cz, p, r)
+	canon.PutCanonizer(cz)
+	return codes
+}
+
+// SpiderSetWith is SpiderSet canonicalizing every rooted spider through
+// the caller's Canonizer.
+func SpiderSetWith(cz *canon.Canonizer, p *graph.Graph, r int) []string {
 	codes := make([]string, p.N())
 	for v := 0; v < p.N(); v++ {
-		codes[v] = RootedSpiderCode(p, graph.V(v), r)
+		codes[v] = RootedSpiderCodeWith(cz, p, graph.V(v), r)
 	}
 	sort.Strings(codes)
 	return codes
@@ -54,7 +73,20 @@ func (p *Pattern) SpiderSetSignature(r int) uint64 {
 	if p.sigOK && p.sigRadius == r {
 		return p.spiderSig
 	}
-	p.spiderSig = HashSpiderSet(SpiderSet(p.G, r))
+	cz := canon.GetCanonizer()
+	sig := p.SpiderSetSignatureWith(cz, r)
+	canon.PutCanonizer(cz)
+	return sig
+}
+
+// SpiderSetSignatureWith is SpiderSetSignature computing a signature miss
+// through the caller's Canonizer. The cache itself is unsynchronized:
+// concurrent calls are only safe on distinct patterns.
+func (p *Pattern) SpiderSetSignatureWith(cz *canon.Canonizer, r int) uint64 {
+	if p.sigOK && p.sigRadius == r {
+		return p.spiderSig
+	}
+	p.spiderSig = HashSpiderSet(SpiderSetWith(cz, p.G, r))
 	p.sigOK = true
 	p.sigRadius = r
 	return p.spiderSig

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/gen"
+	"repro/internal/pattern"
 )
 
 // TestRunContextUncancelledEqualsRun: the cancellation plumbing must be
@@ -35,7 +36,7 @@ func TestRunContextUncancelledEqualsRun(t *testing.T) {
 // Stage II grow+merge iteration boundary (delivered synchronously by the
 // progress callback), returning the partial result, the run error, and
 // how long the miner took to return after cancel() was called.
-func cancelledRun(t *testing.T, workers int) (*Result, error, time.Duration) {
+func cancelledRun(t *testing.T, workers int, mutate ...func(*Config)) (*Result, error, time.Duration) {
 	t.Helper()
 	g := gen.BarabasiAlbert(500, 3, 25, rand.New(rand.NewSource(11)))
 	ctx, cancel := context.WithCancel(context.Background())
@@ -51,6 +52,9 @@ func cancelledRun(t *testing.T, workers int) (*Result, error, time.Duration) {
 				cancel()
 			}
 		},
+	}
+	for _, f := range mutate {
+		f(&cfg)
 	}
 	res, err := MineContext(ctx, g, cfg)
 	ret := time.Now()
@@ -85,6 +89,41 @@ func TestCancelDeterministic(t *testing.T) {
 		if fingerprint(t, res1) != fingerprint(t, res2) {
 			t.Errorf("workers=%d: two identically cancelled runs returned different partial results", workers)
 		}
+	}
+}
+
+// TestCancelPartialDedupe: a cancelled run's partial selection applies
+// the exact structural dedupe by default — safe now that the
+// automorphism-pruned Canonizer codes unpruned hub patterns in
+// microseconds — and stays deterministic; DisablePartialDedupe restores
+// the historical duplicate-tolerant path, also deterministically.
+func TestCancelPartialDedupe(t *testing.T) {
+	res, err, _ := cancelledRun(t, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i, p := range res.Patterns {
+		for _, q := range res.Patterns[i+1:] {
+			if pattern.SameStructure(p, q, 1) {
+				t.Fatalf("deduped partial result contains isomorphic duplicates (%v, %v)", p, q)
+			}
+		}
+	}
+	if res.Stats.CanonRun == 0 {
+		t.Fatal("partial dedupe ran but Stats.CanonRun is zero")
+	}
+	disable := func(c *Config) { c.DisablePartialDedupe = true }
+	raw1, err1, _ := cancelledRun(t, 1, disable)
+	raw2, err2, _ := cancelledRun(t, 1, disable)
+	if !errors.Is(err1, context.Canceled) || !errors.Is(err2, context.Canceled) {
+		t.Fatalf("gated runs errs = %v, %v, want context.Canceled", err1, err2)
+	}
+	if fingerprint(t, raw1) != fingerprint(t, raw2) {
+		t.Error("DisablePartialDedupe partials differ between identical runs")
+	}
+	if len(raw1.Patterns) < len(res.Patterns) {
+		t.Errorf("dedupe kept %d patterns but the raw selection only had %d",
+			len(res.Patterns), len(raw1.Patterns))
 	}
 }
 

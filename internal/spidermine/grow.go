@@ -9,8 +9,6 @@ import (
 	"repro/internal/pattern"
 )
 
-func isoCheck(a, b *pattern.Pattern) bool { return canon.Isomorphic(a.G, b.G) }
-
 // growAll runs one SpiderGrow iteration over every working pattern,
 // reporting whether any pattern was extended. With cfg.Workers > 1 (or
 // < 0 for GOMAXPROCS) patterns grow concurrently; results are identical

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/canon"
 	"repro/internal/graph"
 	"repro/internal/pattern"
 	"repro/internal/spider"
@@ -65,8 +66,16 @@ type Config struct {
 	// MOverride, if > 0, forces the seed draw size instead of Lemma 2's M.
 	MOverride int
 	// DisableSpiderSetPruning turns off the spider-set signature filter
-	// (ablation; every identity check falls through to isomorphism).
+	// (ablation; every identity check falls through to the exact check).
 	DisableSpiderSetPruning bool
+	// DisablePartialDedupe turns off the exact structural dedupe when
+	// assembling a cancelled run's partial result. The dedupe is on by
+	// default: the automorphism-pruned Canonizer codes even unpruned hub
+	// patterns ("monsters" with hundreds of interchangeable legs) in
+	// microseconds, so a cancelled caller gets duplicate-free partials
+	// without the historical exponential-blowup risk. The gate remains as
+	// an escape hatch and for A/B measurement.
+	DisablePartialDedupe bool
 	// KeepUnmerged disables Stage II pruning (ablation: all grown seeds
 	// survive to Stage III).
 	KeepUnmerged bool
@@ -170,14 +179,16 @@ type Stats struct {
 	Merges         int           // successful CheckMerge events
 	IsoSkipped     int64         // isomorphism tests skipped by spider-set pruning
 	IsoRun         int64         // exact isomorphism tests executed (work counter; may grow with Workers > 1 — parallel merge rounds evaluate pairs speculatively)
+	CanonRun       int64         // canonical-code computations by the miner's Canonizer (spider-set signatures + exact identity checks)
+	CanonNodes     int64         // individualization–refinement search nodes across those runs; CanonNodes/CanonRun quantifies the orbit/trace pruning
 	StageI         time.Duration // spider mining time
 	StageII        time.Duration // growth + merge time
 	StageIII       time.Duration // recovery time
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("stats{spiders=%d M=%d iters=%d merges=%d isoSkip=%d isoRun=%d tI=%v tII=%v tIII=%v}",
-		s.NumSpiders, s.M, s.GrowIterations, s.Merges, s.IsoSkipped, s.IsoRun, s.StageI, s.StageII, s.StageIII)
+	return fmt.Sprintf("stats{spiders=%d M=%d iters=%d merges=%d isoSkip=%d isoRun=%d canonRun=%d canonNodes=%d tI=%v tII=%v tIII=%v}",
+		s.NumSpiders, s.M, s.GrowIterations, s.Merges, s.IsoSkipped, s.IsoRun, s.CanonRun, s.CanonNodes, s.StageI, s.StageII, s.StageIII)
 }
 
 // Result is the output of a mining run.
@@ -196,6 +207,12 @@ type Miner struct {
 	rng    *rand.Rand
 	stats  Stats
 	nextID int
+	// cz is the miner-owned Canonizer every coordinator-side pattern
+	// identity check routes through (spider-set signatures and exact
+	// canonical-code comparisons); its counters feed Stats.CanonRun /
+	// CanonNodes. Identity checks run sequentially on the coordinator, so
+	// one scratch instance serves the whole run.
+	cz *canon.Canonizer
 	// ctx/done carry the run's cancellation signal; set by RunContext.
 	// done is nil for an uncancellable context, which gates every
 	// cancellation check and snapshot off the hot path — a Background run
@@ -230,6 +247,7 @@ func New(g *graph.Graph, cfg Config) *Miner {
 		g:   g,
 		cfg: cfg,
 		rng: rand.New(rand.NewSource(cfg.Seed)),
+		cz:  canon.NewCanonizer(),
 	}
 	if cfg.Measure == support.CountAll {
 		m.supFn = func(_ *graph.Graph, embs []pattern.Embedding) int { return len(embs) }
@@ -510,45 +528,23 @@ func fallbackLargest(ws []*grown, k int) []*grown {
 // returns the K largest by edge count (ties: more vertices, then higher
 // support, then stable by ID).
 func (m *Miner) selectTopK(ps []*pattern.Pattern) []*pattern.Pattern {
-	var kept []*pattern.Pattern
-	for _, p := range ps {
-		if m.supFn(p.G, p.Emb) < m.cfg.MinSupport {
-			continue
-		}
-		if p.G.Diameter() > m.cfg.Dmax {
-			continue
-		}
-		dup := false
-		for _, q := range kept {
-			if m.sameStructure(p, q) {
-				dup = true
-				// Keep the one with more embeddings.
-				if len(p.Emb) > len(q.Emb) {
-					*q = *p
-				}
-				break
-			}
-		}
-		if !dup {
-			kept = append(kept, p)
-		}
-	}
-	sortBySize(kept)
-	if len(kept) > m.cfg.K {
-		kept = kept[:m.cfg.K]
-	}
-	return kept
+	return m.selectPatterns(ps, true)
 }
 
 // selectPartial assembles a cancelled run's result: selectTopK's σ and
-// Dmax filters and size ordering, but without the structural dedupe —
-// the exact-isomorphism test and its spider-set prune are worst-case
-// exponential on the unpruned hub patterns a cancelled run can hold
-// (CanonicalCode individualization over hundreds of interchangeable
-// leaves), and a cancelled caller is owed a prompt return. Partial
-// results may therefore contain isomorphic duplicates; for a fixed
-// cancellation boundary they are still deterministic.
+// Dmax filters, size ordering and — unless cfg.DisablePartialDedupe —
+// the same exact structural dedupe. Historically the dedupe had to be
+// skipped here (the pre-v2 CanonicalCode search went factorial on the
+// unpruned hub patterns a cancelled run can hold, hanging the post-cancel
+// path for minutes); the automorphism-pruned Canonizer codes those
+// monsters in microseconds, so cancelled callers now get duplicate-free
+// partials by default. Either way the result is deterministic for a
+// fixed cancellation boundary (TestCancelDeterministic).
 func (m *Miner) selectPartial(ps []*pattern.Pattern) []*pattern.Pattern {
+	return m.selectPatterns(ps, !m.cfg.DisablePartialDedupe)
+}
+
+func (m *Miner) selectPatterns(ps []*pattern.Pattern, dedupe bool) []*pattern.Pattern {
 	var kept []*pattern.Pattern
 	for _, p := range ps {
 		if m.supFn(p.G, p.Emb) < m.cfg.MinSupport {
@@ -556,6 +552,22 @@ func (m *Miner) selectPartial(ps []*pattern.Pattern) []*pattern.Pattern {
 		}
 		if p.G.Diameter() > m.cfg.Dmax {
 			continue
+		}
+		if dedupe {
+			dup := false
+			for _, q := range kept {
+				if m.sameStructure(p, q) {
+					dup = true
+					// Keep the one with more embeddings.
+					if len(p.Emb) > len(q.Emb) {
+						*q = *p
+					}
+					break
+				}
+			}
+			if dup {
+				continue
+			}
 		}
 		kept = append(kept, p)
 	}
@@ -586,19 +598,25 @@ func sortBySize(ps []*pattern.Pattern) {
 
 // sameStructure decides pattern identity the way §4.2.2 prescribes: the
 // spider-set signature is the cheap necessary condition (Theorem 2), and
-// only signature-equal pairs pay for an exact isomorphism test. With the
-// pruning disabled (ablation), every size-compatible pair goes straight to
-// the exact test, so Stats.IsoRun exposes the pruning's value.
+// only signature-equal pairs pay for an exact check — a comparison of
+// per-pattern cached canonical codes, so each pattern canonicalizes at
+// most once however many pairs it appears in. With the pruning disabled
+// (ablation), every size-compatible pair goes straight to the exact
+// check, so Stats.IsoRun exposes the pruning's value. All
+// canonicalization routes through the miner's Canonizer, whose counters
+// land in Stats.CanonRun / CanonNodes.
 func (m *Miner) sameStructure(a, b *pattern.Pattern) bool {
-	if a.G.N() != b.G.N() || a.G.M() != b.G.M() {
-		return false
+	same := false
+	switch {
+	case a.G.N() != b.G.N() || a.G.M() != b.G.M():
+	case !m.cfg.DisableSpiderSetPruning &&
+		a.SpiderSetSignatureWith(m.cz, m.cfg.Radius) != b.SpiderSetSignatureWith(m.cz, m.cfg.Radius):
+		m.stats.IsoSkipped++
+	default:
+		m.stats.IsoRun++
+		same = a.CanonicalCodeWith(m.cz) == b.CanonicalCodeWith(m.cz)
 	}
-	if !m.cfg.DisableSpiderSetPruning {
-		if a.SpiderSetSignature(m.cfg.Radius) != b.SpiderSetSignature(m.cfg.Radius) {
-			m.stats.IsoSkipped++
-			return false
-		}
-	}
-	m.stats.IsoRun++
-	return isoCheck(a, b)
+	m.stats.CanonRun = m.cz.Runs
+	m.stats.CanonNodes = m.cz.Nodes
+	return same
 }

@@ -241,6 +241,8 @@ type Stats struct {
 	Merges         int           `json:"merges,omitempty"`          // successful merges
 	IsoSkipped     int64         `json:"iso_skipped,omitempty"`     // isomorphism tests pruned away
 	IsoRun         int64         `json:"iso_run,omitempty"`         // exact isomorphism tests executed
+	CanonRun       int64         `json:"canon_run,omitempty"`       // canonical-code computations (SpiderMine identity checks)
+	CanonNodes     int64         `json:"canon_nodes,omitempty"`     // canonicalization search nodes; CanonNodes/CanonRun quantifies orbit/trace pruning
 	Stages         []StageTime   `json:"stages,omitempty"`          // per-stage wall-clock, in stage order
 	Elapsed        time.Duration `json:"elapsed_ns"`                // total wall-clock of the run
 }

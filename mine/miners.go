@@ -172,6 +172,8 @@ func mineSpiderMine(ctx context.Context, host Host, opts Options) (*Result, erro
 		Merges:         res.Stats.Merges,
 		IsoSkipped:     res.Stats.IsoSkipped,
 		IsoRun:         res.Stats.IsoRun,
+		CanonRun:       res.Stats.CanonRun,
+		CanonNodes:     res.Stats.CanonNodes,
 		Stages: []StageTime{
 			{Name: "spiders", Duration: res.Stats.StageI},
 			{Name: "growth", Duration: res.Stats.StageII},

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# bench.sh — record the benchmark trajectory for the hot paths the
+# performance PRs guard: Stage I / full-pipeline mining, canonical-code
+# computation, and embedding enumeration. Runs each suite with fixed
+# flags and writes a JSON map
+#
+#   { "<benchmark name>": {"ns_per_op": <float>, "allocs_per_op": <int>}, ... }
+#
+# to the output file (default BENCH_PR5.json in the repo root; pass a
+# path to override). Names are stripped of the -GOMAXPROCS suffix so the
+# keys stay stable across machines. Committed baselines let a later PR
+# diff its numbers against the measured state of this one.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR5.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+# Pipeline-level benchmarks (root package; Quick-scale experiment driver).
+go test -run=NONE -bench='StageI|FullPipelineGID1$' -benchtime=10x -benchmem -count=1 . | tee -a "$tmp"
+# Substrate benchmarks: canonical codes (existing corpus + the symmetric
+# shapes the pre-v2 search blew up on) and the matcher.
+go test -run=NONE -bench='CanonicalCode|EnumerateEmbeddings' -benchtime=200x -benchmem -count=1 ./internal/canon/ | tee -a "$tmp"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "  \"%s\": {\"ns_per_op\": %s", name, ns
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+BEGIN { printf "{\n" }
+END   { printf "\n}\n" }
+' "$tmp" > "$out"
+
+echo "wrote $out"
