@@ -19,6 +19,15 @@
 // queued and running jobs finish, and after -drain the remaining runs
 // are cancelled into their deterministic committed partials before the
 // process exits.
+//
+// Failure semantics (see README §Failure semantics): a panicking miner
+// is contained at the job boundary — the job fails with the stack, the
+// daemon keeps serving; transient-classed job failures are retried up to
+// -max-retries times with exponential backoff from -retry-base; full
+// queues and draining reject with 503 + Retry-After; GET /healthz is
+// liveness, GET /readyz readiness. Failpoints can be armed for chaos
+// drills via the SPIDERSERVED_FAULTS environment variable (the
+// internal/fault DSL, e.g. 'serve/cache/put=error(disk full),3').
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/serve"
 )
 
@@ -48,10 +58,23 @@ func run() int {
 		queueCap = flag.Int("queue", 64, "job queue capacity (full queue returns 503)")
 		cacheCap = flag.Int("cache", 256, "result cache capacity in entries (0 disables)")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM before in-flight jobs are cancelled into committed partials")
+		retries  = flag.Int("max-retries", 2, "max re-runs of a job after a transient failure (0 disables retries)")
+		retryB   = flag.Duration("retry-base", 100*time.Millisecond, "first retry backoff; doubles per attempt (jittered, capped at 5s)")
 	)
 	flag.Parse()
 
-	srv := serve.New(serve.Config{Runners: *runners, QueueCap: *queueCap, CacheCap: *cacheCap})
+	if dsl := os.Getenv("SPIDERSERVED_FAULTS"); dsl != "" {
+		if err := fault.ArmAll(dsl); err != nil {
+			fmt.Fprintf(os.Stderr, "spiderserved: SPIDERSERVED_FAULTS: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "spiderserved: CHAOS MODE — failpoints armed from SPIDERSERVED_FAULTS: %s\n", dsl)
+	}
+
+	srv := serve.New(serve.Config{
+		Runners: *runners, QueueCap: *queueCap, CacheCap: *cacheCap,
+		MaxRetries: *retries, RetryBase: *retryB,
+	})
 	httpSrv := &http.Server{Handler: srv}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -49,6 +49,38 @@
 // internal/serve package comment for the endpoint reference and
 // README.md for the job lifecycle.
 //
+// # Failure semantics
+//
+// The serving layer degrades, never corrupts (README §Failure semantics
+// has the operator view). Four mechanisms, each independently tested and
+// all exercised together by the chaos suite
+// (internal/serve/chaos_test.go):
+//
+//   - Panic containment: a panicking miner is recovered at the job
+//     boundary (and a second, last-resort recover guards the runner
+//     itself), converted to a *serve.PanicError carrying the panic value
+//     and goroutine stack, and the job fails while the daemon keeps
+//     serving. No job is ever left non-terminal.
+//   - Retry classification: transient-classed failures (mine.IsTransient:
+//     wraps mine.ErrTransient or exposes Transient() bool; context errors
+//     and panics are always permanent) re-run up to a bounded retry
+//     budget with exponential full-jitter backoff. A retry re-runs the
+//     miner from scratch with the same Options — under the determinism
+//     contract it is a fresh equivalent computation, never a resume — so
+//     the parallel- and cancel-determinism invariants are unaffected.
+//   - Backpressure: full queues, draining, and injected infrastructure
+//     faults all answer 503 with a Retry-After header and a structured
+//     JSON body; /healthz (liveness) and /readyz (readiness, flips at
+//     the queue high-water mark) split the health surface so restarts
+//     and traffic-shedding key on different signals.
+//   - Failpoints: internal/fault provides registry-driven named
+//     injection sites (error / transient error / panic / delay, one-in-N
+//     cadence, trip limits) compiled into the store, scheduler, miner
+//     and cache boundaries. Disarmed sites cost one atomic pointer load
+//     and zero allocations — the matcher/canonizer hot paths stay
+//     0 allocs/op — and arming needs no rebuild (test API or the
+//     SPIDERSERVED_FAULTS env DSL).
+//
 // # Cancellation architecture
 //
 // context.Context threads from the façade through every mining layer down

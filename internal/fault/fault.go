@@ -1,0 +1,385 @@
+// Package fault is a registry-driven failpoint framework: named
+// injection sites compiled into production code paths that do nothing —
+// one atomic pointer load, no allocation — until a test (or an operator,
+// via an environment DSL) arms them with a failure to inject.
+//
+// A site is declared once, at package init of the code it instruments:
+//
+//	var fpStoreGet = fault.New("serve/store/get")
+//
+// and evaluated where the failure would naturally surface:
+//
+//	if err := fpStoreGet.Hit(); err != nil { ... }
+//
+// Armed specs support four trigger shapes, composable per site:
+//
+//   - error: Hit returns the configured error (wrapped in *fault.Error,
+//     so callers can detect injection with IsInjected and sites keep
+//     their natural error-return signatures). Transient marks the
+//     injected error as retryable for layers that classify failures.
+//   - panic: Hit panics, exercising recover-based containment above it.
+//   - delay: Hit sleeps (HitCtx waits cancellably), then passes.
+//   - one-in-N / limit: the spec trips on every Nth evaluation and/or
+//     disarms its effect after a bounded number of trips, so a single
+//     arming can model intermittent or self-healing faults.
+//
+// The framework exists so failure semantics are testable on demand: the
+// chaos suite in internal/serve arms each site under concurrent load and
+// asserts the serving invariants hold. Disarmed sites are free — see
+// TestPointDisarmedNoAlloc / BenchmarkPointDisarmed.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind selects what an armed failpoint does when it trips.
+type Kind int
+
+const (
+	// KindError makes Hit return the spec's error.
+	KindError Kind = iota
+	// KindPanic makes Hit panic with the spec's message.
+	KindPanic
+	// KindDelay makes Hit sleep for the spec's delay, then pass.
+	KindDelay
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindPanic:
+		return "panic"
+	case KindDelay:
+		return "delay"
+	}
+	return fmt.Sprintf("fault.Kind(%d)", int(k))
+}
+
+// Spec configures an armed failpoint.
+type Spec struct {
+	Kind Kind
+	// Err is the error KindError injects (a generic one is synthesized
+	// when nil). Hit wraps it in *Error, preserving errors.Is/As chains.
+	Err error
+	// Transient marks injected errors retryable: the *Error returned by
+	// Hit reports Transient() == true, which transient-aware layers (see
+	// mine.IsTransient) treat as "safe to retry".
+	Transient bool
+	// Msg is the KindPanic panic value (a generic one is synthesized
+	// when empty).
+	Msg string
+	// Delay is the KindDelay sleep duration.
+	Delay time.Duration
+	// OneIn trips the failpoint on every Nth evaluation (values <= 1
+	// trip every time). The counter is per arming.
+	OneIn int64
+	// Limit stops injecting after that many trips (0 = unlimited);
+	// further evaluations pass. The site stays armed — Disarm clears it.
+	Limit int64
+}
+
+// Error wraps every injected error with its site name, so failures
+// reaching logs or API responses are attributable and callers can
+// distinguish injected faults (IsInjected) from organic ones.
+// errors.Is/As traverse into the wrapped error.
+type Error struct {
+	Site      string
+	Err       error
+	transient bool
+}
+
+func (e *Error) Error() string { return "fault: injected at " + e.Site + ": " + e.Err.Error() }
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// Transient reports whether the arming marked this failure retryable.
+func (e *Error) Transient() bool { return e.transient }
+
+// IsInjected reports whether err (or anything it wraps) came from a
+// failpoint.
+func IsInjected(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe)
+}
+
+// armed is the per-arming state: the immutable spec plus trip counters.
+// A fresh armed is installed on every Arm, so counters reset.
+type armed struct {
+	spec  Spec
+	hits  atomic.Int64
+	trips atomic.Int64
+}
+
+// Point is one named injection site. The zero Point is not valid — sites
+// come from New, which registers them for Arm/Lookup by name.
+type Point struct {
+	name string
+	// state is nil while disarmed; Hit's fast path is this single
+	// atomic load.
+	state atomic.Pointer[armed]
+}
+
+// Name returns the site's registry name.
+func (p *Point) Name() string { return p.name }
+
+// Arm installs spec at this site, replacing any previous arming (and
+// resetting its counters).
+func (p *Point) Arm(spec Spec) {
+	if spec.Kind == KindError && spec.Err == nil {
+		spec.Err = errors.New("injected failure")
+	}
+	if spec.Kind == KindPanic && spec.Msg == "" {
+		spec.Msg = "injected panic"
+	}
+	p.state.Store(&armed{spec: spec})
+}
+
+// Disarm returns the site to its no-op state.
+func (p *Point) Disarm() { p.state.Store(nil) }
+
+// Armed reports whether the site currently has a spec installed (even
+// one whose Limit is exhausted).
+func (p *Point) Armed() bool { return p.state.Load() != nil }
+
+// Counters reports how many times the site was evaluated and how many
+// times it tripped under the current arming (0, 0 while disarmed).
+func (p *Point) Counters() (hits, trips int64) {
+	s := p.state.Load()
+	if s == nil {
+		return 0, 0
+	}
+	return s.hits.Load(), s.trips.Load()
+}
+
+// Hit evaluates the failpoint: nil while disarmed (or when the trigger
+// does not fire), the injected *Error for KindError, a panic for
+// KindPanic, a sleep-then-nil for KindDelay. Disarmed cost is one atomic
+// pointer load and zero allocation.
+func (p *Point) Hit() error { return p.eval(nil) }
+
+// HitCtx is Hit with cancellable delays: a KindDelay trip waits on the
+// timer or ctx, whichever fires first, and returns nil either way (a
+// cancelled delay reports through the caller's own ctx handling).
+func (p *Point) HitCtx(ctx context.Context) error { return p.eval(ctx) }
+
+func (p *Point) eval(ctx context.Context) error {
+	s := p.state.Load()
+	if s == nil {
+		return nil
+	}
+	return s.trip(p.name, ctx)
+}
+
+// trip runs the armed slow path; split out so eval stays inlinable.
+func (s *armed) trip(site string, ctx context.Context) error {
+	n := s.hits.Add(1)
+	if s.spec.OneIn > 1 && n%s.spec.OneIn != 0 {
+		return nil
+	}
+	if s.spec.Limit > 0 {
+		if s.trips.Add(1) > s.spec.Limit {
+			s.trips.Add(-1) // keep Counters at the number of real trips
+			return nil
+		}
+	} else {
+		s.trips.Add(1)
+	}
+	switch s.spec.Kind {
+	case KindPanic:
+		panic(fmt.Sprintf("fault: injected panic at %s: %s", site, s.spec.Msg))
+	case KindDelay:
+		if ctx == nil || ctx.Done() == nil {
+			time.Sleep(s.spec.Delay)
+			return nil
+		}
+		t := time.NewTimer(s.spec.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+		}
+		return nil
+	default:
+		return &Error{Site: site, Err: s.spec.Err, transient: s.spec.Transient}
+	}
+}
+
+var (
+	regMu sync.Mutex
+	reg   = make(map[string]*Point)
+)
+
+// New declares and registers a named injection site. Names identify
+// sites in the env DSL and test API; declaring a duplicate or empty name
+// panics (sites are package-level singletons, so a collision is a
+// programming error, caught at init).
+func New(name string) *Point {
+	if name == "" {
+		panic("fault: New with empty site name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := reg[name]; dup {
+		panic("fault: duplicate site " + name)
+	}
+	p := &Point{name: name}
+	reg[name] = p
+	return p
+}
+
+// Lookup finds a registered site by name.
+func Lookup(name string) (*Point, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	p, ok := reg[name]
+	return p, ok
+}
+
+// Names lists every registered site in sorted order — the failpoint
+// catalog.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(reg))
+	for name := range reg {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Arm arms a registered site by name; unknown names error (catching
+// typos in env-armed deployments).
+func Arm(name string, spec Spec) error {
+	p, ok := Lookup(name)
+	if !ok {
+		return fmt.Errorf("fault: unknown site %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	p.Arm(spec)
+	return nil
+}
+
+// DisarmAll returns every registered site to its no-op state. Tests that
+// arm sites should defer it.
+func DisarmAll() {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, p := range reg {
+		p.state.Store(nil)
+	}
+}
+
+// ArmAll arms sites from a semicolon-separated DSL, the env-variable
+// arming surface of daemons:
+//
+//	site=kind(arg)[,oneIn[,limit]]
+//
+// where kind is one of
+//
+//	error(message)  inject an error
+//	flake(message)  inject a transient (retryable) error
+//	panic(message)  inject a panic
+//	delay(duration) inject a sleep (Go duration syntax, e.g. 50ms)
+//
+// and the optional integers trip the site on every oneIn-th evaluation
+// and stop after limit trips. Example:
+//
+//	SPIDERSERVED_FAULTS='serve/cache/put=error(disk full),3;serve/miner/invoke=flake(io timeout),1,2'
+//
+// Any parse error or unknown site fails the whole call with nothing
+// armed.
+func ArmAll(dsl string) error {
+	type arming struct {
+		name string
+		spec Spec
+	}
+	var armings []arming
+	for _, entry := range strings.Split(dsl, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, trigger, ok := strings.Cut(entry, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return fmt.Errorf("fault: bad entry %q (want site=kind(arg))", entry)
+		}
+		if _, known := Lookup(name); !known {
+			return fmt.Errorf("fault: unknown site %q (have %s)", name, strings.Join(Names(), ", "))
+		}
+		spec, err := parseTrigger(strings.TrimSpace(trigger))
+		if err != nil {
+			return fmt.Errorf("fault: site %q: %w", name, err)
+		}
+		armings = append(armings, arming{name, spec})
+	}
+	for _, a := range armings {
+		if err := Arm(a.name, a.spec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseTrigger parses "kind(arg)[,oneIn[,limit]]".
+func parseTrigger(s string) (Spec, error) {
+	var spec Spec
+	lparen := strings.IndexByte(s, '(')
+	rparen := strings.LastIndexByte(s, ')')
+	if lparen < 0 || rparen < lparen {
+		return spec, fmt.Errorf("bad trigger %q (want kind(arg))", s)
+	}
+	kind, arg, rest := s[:lparen], s[lparen+1:rparen], strings.TrimSpace(s[rparen+1:])
+	switch kind {
+	case "error":
+		spec.Kind = KindError
+		spec.Err = errors.New(arg)
+	case "flake":
+		spec.Kind = KindError
+		spec.Err = errors.New(arg)
+		spec.Transient = true
+	case "panic":
+		spec.Kind = KindPanic
+		spec.Msg = arg
+	case "delay":
+		d, err := time.ParseDuration(arg)
+		if err != nil {
+			return spec, fmt.Errorf("bad delay %q: %w", arg, err)
+		}
+		spec.Kind = KindDelay
+		spec.Delay = d
+	default:
+		return spec, fmt.Errorf("unknown trigger kind %q (want error, flake, panic, delay)", kind)
+	}
+	if rest == "" {
+		return spec, nil
+	}
+	if !strings.HasPrefix(rest, ",") {
+		return spec, fmt.Errorf("bad trailer %q after %s(...) (want ,oneIn[,limit])", rest, kind)
+	}
+	for i, mod := range strings.Split(rest[1:], ",") {
+		n, err := strconv.ParseInt(strings.TrimSpace(mod), 10, 64)
+		if err != nil || n < 1 {
+			return spec, fmt.Errorf("bad modifier %q (want positive oneIn[,limit])", mod)
+		}
+		switch i {
+		case 0:
+			spec.OneIn = n
+		case 1:
+			spec.Limit = n
+		default:
+			return spec, fmt.Errorf("too many modifiers in %q", s)
+		}
+	}
+	return spec, nil
+}

@@ -54,8 +54,17 @@ func NewCache(capacity int) *Cache {
 }
 
 // Get returns the cached Result for key, marking it most recently used.
+// A failed backend read (the serve/cache/get failpoint; a future
+// replicated cache's network errors) degrades to a miss: the cache is an
+// optimization, never a dependency, so lookups cannot fail — only miss.
 func (c *Cache) Get(key CacheKey) (*mine.Result, bool) {
 	if c == nil || c.cap <= 0 {
+		return nil, false
+	}
+	if err := fpCacheGet.Hit(); err != nil {
+		c.mu.Lock()
+		c.misses++
+		c.mu.Unlock()
 		return nil, false
 	}
 	c.mu.Lock()
@@ -71,9 +80,14 @@ func (c *Cache) Get(key CacheKey) (*mine.Result, bool) {
 }
 
 // Put stores a Result under key, evicting the least recently used entry
-// when the cache is full.
+// when the cache is full. A failed backend write (the serve/cache/put
+// failpoint) drops the store silently — the result is still served from
+// the job; only the O(1) repeat-query path is lost.
 func (c *Cache) Put(key CacheKey, res *mine.Result) {
 	if c == nil || c.cap <= 0 || res == nil {
+		return
+	}
+	if err := fpCachePut.Hit(); err != nil {
 		return
 	}
 	c.mu.Lock()

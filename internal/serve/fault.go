@@ -1,0 +1,46 @@
+package serve
+
+import "repro/internal/fault"
+
+// The serve failpoint catalog: every named injection site of the serving
+// stack, declared here so the set is auditable in one place (and listed
+// at runtime by fault.Names). Each site documents its observable failure
+// semantics — what a client or operator sees when the site trips — which
+// the chaos suite (chaos_test.go) asserts under concurrent load.
+//
+// Sites are disarmed no-ops in production (one atomic load; see
+// internal/fault). Arm them from tests via fault.Arm, or in a running
+// daemon via the SPIDERSERVED_FAULTS environment DSL (cmd/spiderserved).
+var (
+	// serve/store/get: graph-store reads. An error trip surfaces as a
+	// 503 backend-read failure on GET /graphs/{id} and POST /jobs (the
+	// graph may exist — clients should retry), distinct from the 404 of
+	// a genuine miss.
+	fpStoreGet = fault.New("serve/store/get")
+
+	// serve/cache/get: result-cache lookups. A trip degrades to a cache
+	// miss — the job runs instead of completing instantly. Never an
+	// error: the cache is an optimization, not a dependency.
+	fpCacheGet = fault.New("serve/cache/get")
+
+	// serve/cache/put: result-cache stores. A trip drops the store — the
+	// result is still served; only future submissions lose the O(1) hit.
+	fpCachePut = fault.New("serve/cache/put")
+
+	// serve/sched/submit: job admission, after request validation. An
+	// error trip rejects the submission with 503 + Retry-After, like
+	// organic backpressure.
+	fpSchedSubmit = fault.New("serve/sched/submit")
+
+	// serve/sched/claim: a runner claiming a queued job, before the
+	// miner is invoked. An error trip fails the job (status "failed")
+	// without running it; a delay trip stalls dispatch.
+	fpSchedClaim = fault.New("serve/sched/claim")
+
+	// serve/miner/invoke: the miner invocation boundary, inside the
+	// panic-containment and retry scope. An error trip fails the attempt
+	// (transient trips are retried with backoff up to the retry budget);
+	// a panic trip exercises containment — the job fails with the stack,
+	// the daemon keeps serving; a delay trip slows the run.
+	fpMinerInvoke = fault.New("serve/miner/invoke")
+)

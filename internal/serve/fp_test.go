@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -87,8 +88,11 @@ func TestStoreDedupesByContent(t *testing.T) {
 	if s.Len() != 1 || len(s.List()) != 1 {
 		t.Errorf("store holds %d graphs, want 1", s.Len())
 	}
-	if got, ok := s.Get(a.ID); !ok || got != a {
-		t.Error("Get by fingerprint failed")
+	if got, err := s.Get(a.ID); err != nil || got != a {
+		t.Errorf("Get by fingerprint failed: %v", err)
+	}
+	if _, err := s.Get("no-such-fp"); !errors.Is(err, ErrUnknownGraph) {
+		t.Errorf("Get miss error %v, want ErrUnknownGraph", err)
 	}
 }
 

@@ -4,7 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/mine"
@@ -35,6 +38,20 @@ var (
 	ErrDraining  = errors.New("serve: scheduler is draining; not accepting jobs")
 )
 
+// PanicError is a miner panic caught at the job boundary: the panic
+// value plus the goroutine stack at recovery. It converts a would-be
+// daemon crash into a per-job failure — the job lands in status "failed"
+// with this error while every other runner keeps serving. Panics are
+// permanent (a bug reproduces), so they are never retried.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}
+
 // Job is one scheduled mining run. All mutable state is guarded by mu;
 // the identity fields (ID, Graph, Miner, Opts, Key) are immutable after
 // Submit.
@@ -53,6 +70,7 @@ type Job struct {
 	cancel   context.CancelFunc // set while running
 	events   []mine.ProgressEvent
 	notify   chan struct{} // closed and replaced on every state/event change
+	retries  int           // transient-failure re-runs consumed so far
 	created  time.Time
 	started  time.Time
 	finished time.Time
@@ -85,6 +103,7 @@ type JobSnapshot struct {
 	Truncated string    `json:"truncated,omitempty"`
 	Patterns  int       `json:"patterns"`
 	Events    int       `json:"events"`
+	Retries   int       `json:"retries,omitempty"`
 	Error     string    `json:"error,omitempty"`
 	Created   time.Time `json:"created"`
 	Started   time.Time `json:"started,omitzero"`
@@ -98,6 +117,7 @@ func (j *Job) Snapshot() JobSnapshot {
 	s := JobSnapshot{
 		ID: j.ID, Graph: j.Graph.ID, Miner: j.Miner,
 		Status: j.status, Cached: j.cached, Events: len(j.events),
+		Retries: j.retries,
 		Created: j.created, Started: j.started, Finished: j.finished,
 	}
 	if j.result != nil {
@@ -197,9 +217,23 @@ type Scheduler struct {
 	cache *Cache
 
 	queue      chan *Job
+	runners    int
+	queueCap   int
+	highWater  int // readiness threshold: queue depth at or past it reports not-ready
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
+
+	// Retry policy for transient-classed job failures (mine.IsTransient):
+	// up to maxRetries re-runs with exponential backoff from retryBase
+	// (full jitter, capped). sleep is the injectable wait so tests drive
+	// backoff with a fake clock; it returns ctx.Err() if ctx fires first.
+	maxRetries int
+	retryBase  time.Duration
+	sleep      func(ctx context.Context, d time.Duration) error
+
+	totalRetries atomic.Int64 // transient re-runs across all jobs
+	totalPanics  atomic.Int64 // miner panics contained at the job boundary
 
 	mu        sync.Mutex
 	jobs      map[string]*Job
@@ -217,8 +251,17 @@ type Scheduler struct {
 // choose a limit.
 const defaultJobRetention = 4096
 
+// defaultRetryBase seeds the exponential backoff when the embedder does
+// not choose one; maxRetryBackoff caps the grown delay so a long retry
+// chain never stalls a runner for minutes.
+const (
+	defaultRetryBase = 100 * time.Millisecond
+	maxRetryBackoff  = 5 * time.Second
+)
+
 // NewScheduler starts `runners` runner goroutines over a FIFO queue of
-// capacity queueCap (minimums of 1 apply).
+// capacity queueCap (minimums of 1 apply). Retries are off until
+// configured (serve.Config.MaxRetries / the daemon's -max-retries).
 func NewScheduler(cache *Cache, runners, queueCap int) *Scheduler {
 	if runners < 1 {
 		runners = 1
@@ -229,6 +272,11 @@ func NewScheduler(cache *Cache, runners, queueCap int) *Scheduler {
 	s := &Scheduler{
 		cache:     cache,
 		queue:     make(chan *Job, queueCap),
+		runners:   runners,
+		queueCap:  queueCap,
+		highWater: max(1, queueCap*9/10),
+		retryBase: defaultRetryBase,
+		sleep:     sleepCtx,
 		jobs:      make(map[string]*Job),
 		accepting: true,
 		retain:    defaultJobRetention,
@@ -241,6 +289,19 @@ func NewScheduler(cache *Cache, runners, queueCap int) *Scheduler {
 	return s
 }
 
+// sleepCtx waits d or until ctx fires, whichever comes first — the
+// default backoff sleeper.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // Submit registers a job for (graph, miner, opts). A result-cache hit
 // completes the job immediately (Cached status done) without consuming a
 // queue slot; otherwise the job enters the FIFO queue, or Submit fails
@@ -251,6 +312,12 @@ func (s *Scheduler) Submit(sg *StoredGraph, minerName string, opts mine.Options)
 		return nil, fmt.Errorf("serve: Submit with nil graph")
 	}
 	if _, err := mine.Get(minerName); err != nil {
+		return nil, err
+	}
+	// Admission failpoint: sits after request validation (a trip must
+	// read as backpressure, not as a bad request) and before the cache
+	// lookup (an admission fault rejects cache hits too).
+	if err := fpSchedSubmit.Hit(); err != nil {
 		return nil, err
 	}
 	opts.OnProgress = nil
@@ -339,6 +406,38 @@ func (s *Scheduler) List() []*Job {
 // QueueDepth reports how many submitted jobs await a runner.
 func (s *Scheduler) QueueDepth() int { return len(s.queue) }
 
+// QueueCap reports the FIFO queue's capacity.
+func (s *Scheduler) QueueCap() int { return s.queueCap }
+
+// Draining reports whether Shutdown has begun: submissions are rejected
+// and the node should be pulled from rotation.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.accepting
+}
+
+// Ready reports whether the scheduler should receive new traffic: not
+// draining, and queue depth below the high-water mark (90% of capacity,
+// minimum 1) — so a load balancer stops routing here *before* submissions
+// start bouncing with 503. reason is empty when ready.
+func (s *Scheduler) Ready() (ready bool, reason string) {
+	if s.Draining() {
+		return false, "draining"
+	}
+	if d := len(s.queue); d >= s.highWater {
+		return false, fmt.Sprintf("queue depth %d at high-water mark %d (cap %d)", d, s.highWater, s.queueCap)
+	}
+	return true, ""
+}
+
+// Retries reports the total transient-failure re-runs across all jobs.
+func (s *Scheduler) Retries() int64 { return s.totalRetries.Load() }
+
+// Panics reports how many miner panics were contained at the job
+// boundary since startup.
+func (s *Scheduler) Panics() int64 { return s.totalPanics.Load() }
+
 // Cancel requests cancellation of a job by id (see Job.RequestCancel).
 func (s *Scheduler) Cancel(id string) error {
 	j, ok := s.Get(id)
@@ -380,8 +479,38 @@ func (s *Scheduler) Shutdown(ctx context.Context) {
 func (s *Scheduler) runner() {
 	defer s.wg.Done()
 	for job := range s.queue {
-		s.runJob(job)
+		s.runContained(job)
 	}
+}
+
+// runContained is the runner's last-resort containment: the miner
+// invocation has its own recover (see invoke), but a panic anywhere else
+// in the job path would otherwise kill the runner goroutine silently —
+// shrinking capacity and leaving the job non-terminal forever. Here it
+// becomes a failed job and the runner keeps draining the queue.
+func (s *Scheduler) runContained(j *Job) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.totalPanics.Add(1)
+			j.forceFail(&PanicError{Value: r, Stack: debug.Stack()})
+		}
+	}()
+	s.runJob(j)
+}
+
+// forceFail drives a job to terminal "failed" unless it already reached
+// a terminal status — the containment path's guarantee that no job is
+// left non-terminal.
+func (j *Job) forceFail(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.terminal() {
+		return
+	}
+	j.status = StatusFailed
+	j.err = err
+	j.finished = time.Now().UTC()
+	j.broadcastLocked()
 }
 
 func (s *Scheduler) runJob(j *Job) {
@@ -412,9 +541,11 @@ func (s *Scheduler) runJob(j *Job) {
 	m, err := mine.Get(j.Miner)
 	var res *mine.Result
 	if err == nil {
-		opts := j.Opts
-		opts.OnProgress = j.appendEvent
-		res, err = m.Mine(ctx, mine.SingleGraph(j.Graph.G), opts)
+		if ferr := fpSchedClaim.HitCtx(ctx); ferr != nil {
+			err = ferr
+		} else {
+			res, err = s.mineWithRetry(ctx, m, j)
+		}
 	}
 
 	j.mu.Lock()
@@ -437,8 +568,95 @@ func (s *Scheduler) runJob(j *Job) {
 		// deterministic committed partials — keep both.
 		j.status = StatusCanceled
 	default:
+		// Exhausted retries, a permanent failure, or a contained panic.
+		// Failed results never enter the cache (the err == nil gate
+		// above) — a fault must not be replayed to future submissions.
 		j.status = StatusFailed
 	}
+	j.broadcastLocked()
+	j.mu.Unlock()
+}
+
+// mineWithRetry invokes the miner, re-running transient-classed failures
+// (mine.IsTransient) up to the scheduler's retry budget with exponential
+// backoff + full jitter. Every attempt re-runs the miner from scratch
+// with the same Options — under the façade's determinism contract a
+// retry is a fresh, equivalent computation, never a resume — so a
+// successful retry is indistinguishable from a first-try success apart
+// from the "retry" progress events separating the attempts' streams.
+// Cancellation during an attempt or a backoff wait stops retrying
+// immediately.
+func (s *Scheduler) mineWithRetry(ctx context.Context, m mine.Miner, j *Job) (*mine.Result, error) {
+	for attempt := 0; ; attempt++ {
+		res, err := s.invoke(ctx, m, j)
+		if err == nil || !mine.IsTransient(err) || attempt >= s.maxRetries {
+			return res, err
+		}
+		if ctx.Err() != nil {
+			// The job was cancelled while the attempt was failing —
+			// honor the cancellation over the retry budget.
+			return nil, ctx.Err()
+		}
+		s.totalRetries.Add(1)
+		j.noteRetry(attempt + 1)
+		if werr := s.sleep(ctx, s.backoffDelay(attempt)); werr != nil {
+			// Cancelled mid-backoff: the failed attempt's output is not a
+			// committed partial result, so the job cancels empty-handed.
+			return nil, werr
+		}
+	}
+}
+
+// invoke runs one miner attempt inside the panic-containment boundary: a
+// panicking miner becomes a *PanicError (permanent — never retried) while
+// the runner, its siblings, and the daemon keep serving.
+func (s *Scheduler) invoke(ctx context.Context, m mine.Miner, j *Job) (res *mine.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.totalPanics.Add(1)
+			res, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if ferr := fpMinerInvoke.HitCtx(ctx); ferr != nil {
+		return nil, ferr
+	}
+	opts := j.Opts
+	opts.OnProgress = j.appendEvent
+	return m.Mine(ctx, mine.SingleGraph(j.Graph.G), opts)
+}
+
+// backoffDelay is the attempt-th retry wait: retryBase doubled per
+// attempt, capped at maxRetryBackoff, with full jitter (uniform in
+// (cap/2, cap]) so synchronized failures do not retry in lockstep.
+func (s *Scheduler) backoffDelay(attempt int) time.Duration {
+	base := s.retryBase
+	if base <= 0 {
+		base = defaultRetryBase
+	}
+	d := base
+	for i := 0; i < attempt && d < maxRetryBackoff; i++ {
+		d *= 2
+	}
+	if d > maxRetryBackoff {
+		d = maxRetryBackoff
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1)) + 1
+}
+
+// noteRetry records one transient re-run: the counter surfaces in
+// JobSnapshot.Retries and /stats, and a "retry" progress event marks the
+// attempt boundary in the NDJSON stream (attempt is 1-based: the first
+// retry is attempt 1).
+func (j *Job) noteRetry(attempt int) {
+	j.mu.Lock()
+	j.retries++
+	j.events = append(j.events, mine.ProgressEvent{
+		Miner:     j.Miner,
+		Stage:     "retry",
+		Iteration: attempt,
+		Elapsed:   time.Since(j.started),
+	})
 	j.broadcastLocked()
 	j.mu.Unlock()
 }

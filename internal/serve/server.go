@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
+	"repro/internal/fault"
 	"repro/mine"
 )
 
@@ -27,6 +29,13 @@ type Config struct {
 	// MaxUploadBytes bounds a POST /graphs request body; oversized
 	// uploads get 413 (default 256 MiB).
 	MaxUploadBytes int64
+	// MaxRetries bounds how many times a job is re-run after a
+	// transient-classed failure (mine.IsTransient); 0 disables retries.
+	// Each retry re-runs the miner from scratch with the same options.
+	MaxRetries int
+	// RetryBase seeds the exponential retry backoff (doubled per
+	// attempt, jittered, capped at 5s); <= 0 means the 100ms default.
+	RetryBase time.Duration
 }
 
 // Server is the HTTP/JSON mining service: an http.Handler exposing the
@@ -34,8 +43,9 @@ type Config struct {
 //
 // Endpoints:
 //
-//	GET    /healthz           liveness
-//	GET    /stats             cache + queue statistics
+//	GET    /healthz           liveness: the process is up (always 200)
+//	GET    /readyz            readiness: accepting traffic (503 while draining or queue at high water)
+//	GET    /stats             cache + queue + resilience statistics
 //	GET    /miners            registered miners
 //	POST   /graphs            upload an LG-format host; dedupes by content fingerprint
 //	GET    /graphs            list registered graphs
@@ -69,7 +79,14 @@ func New(cfg Config) *Server {
 	if cfg.JobsCap > 0 {
 		s.sched.retain = cfg.JobsCap
 	}
+	if cfg.MaxRetries > 0 {
+		s.sched.maxRetries = cfg.MaxRetries
+	}
+	if cfg.RetryBase > 0 {
+		s.sched.retryBase = cfg.RetryBase
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /miners", s.handleMiners)
 	s.mux.HandleFunc("POST /graphs", s.handleUploadGraph)
@@ -110,14 +127,69 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
+// writeBackpressure is the 503 contract: a Retry-After header (seconds)
+// plus a structured JSON body carrying the same hint, so both
+// header-aware proxies and body-parsing clients can back off instead of
+// hot-looping on a loaded or draining node.
+func writeBackpressure(w http.ResponseWriter, err error, retryAfter time.Duration) {
+	secs := int(retryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"error":         err.Error(),
+		"retry_after_s": secs,
+	})
+}
+
+// retryAfterHint suggests how long a rejected client should wait before
+// resubmitting: scaled by queue occupancy per runner when the queue is
+// full, a flat (longer) hint while draining — a draining node wants the
+// client to go elsewhere, not to come back soon.
+func (s *Server) retryAfterHint(draining bool) time.Duration {
+	if draining {
+		return 10 * time.Second
+	}
+	d := time.Duration(1+s.sched.QueueDepth()/s.sched.runners) * time.Second
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+// handleHealth is liveness only: the process is up and the handler
+// loop responsive. It stays 200 through draining and overload —
+// restart-deciders (process supervisors) key on it, and restarting a
+// draining node would discard the drain.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"draining": s.sched.Draining(),
+	})
+}
+
+// handleReady is readiness: whether this node should receive new
+// traffic. Load balancers key on it — a draining or high-water node
+// flips to 503 here (with Retry-After) before submissions start
+// bouncing, so it leaves rotation ahead of client-visible rejections.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	ready, reason := s.sched.Ready()
+	if !ready {
+		writeBackpressure(w, fmt.Errorf("serve: not ready: %s", reason), s.retryAfterHint(s.sched.Draining()))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"cache":       s.cache.Stats(),
 		"queue_depth": s.sched.QueueDepth(),
+		"queue_cap":   s.sched.QueueCap(),
+		"draining":    s.sched.Draining(),
+		"retries":     s.sched.Retries(),
+		"panics":      s.sched.Panics(),
 		"graphs":      s.store.Len(),
 	})
 }
@@ -162,9 +234,15 @@ func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
-	sg, ok := s.store.Get(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown graph %q", r.PathValue("id")))
+	sg, err := s.store.Get(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrUnknownGraph):
+		writeError(w, http.StatusNotFound, err)
+		return
+	case err != nil:
+		// A failed store read, not a miss: the graph may well exist, so
+		// steer the client to retry rather than re-upload.
+		writeBackpressure(w, fmt.Errorf("serve: graph store read failed: %w", err), s.retryAfterHint(false))
 		return
 	}
 	writeJSON(w, http.StatusOK, sg)
@@ -225,9 +303,13 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	if req.Miner == "" {
 		req.Miner = "spidermine"
 	}
-	sg, ok := s.store.Get(req.Graph)
-	if !ok {
+	sg, err := s.store.Get(req.Graph)
+	switch {
+	case errors.Is(err, ErrUnknownGraph):
 		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown graph %q (upload via POST /graphs)", req.Graph))
+		return
+	case err != nil:
+		writeBackpressure(w, fmt.Errorf("serve: graph store read failed: %w", err), s.retryAfterHint(false))
 		return
 	}
 	opts := req.Options.toOptions()
@@ -239,8 +321,16 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.sched.Submit(sg, req.Miner, opts)
 	switch {
-	case errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrQueueFull):
+		writeBackpressure(w, err, s.retryAfterHint(false))
+		return
+	case errors.Is(err, ErrDraining):
+		writeBackpressure(w, err, s.retryAfterHint(true))
+		return
+	case fault.IsInjected(err):
+		// An injected admission fault models transient scheduler trouble:
+		// backpressure, not a client error.
+		writeBackpressure(w, err, s.retryAfterHint(false))
 		return
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)

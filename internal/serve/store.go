@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -8,6 +9,13 @@ import (
 
 	"repro/internal/graph"
 )
+
+// ErrUnknownGraph reports a lookup miss: no graph with that fingerprint
+// is registered. Get wraps it with the id; any other Get error is a read
+// failure (today only injectable via the serve/store/get failpoint, the
+// seam a future persistent store's I/O errors will surface through) and
+// serving surfaces must treat it as retryable, not as "not found".
+var ErrUnknownGraph = errors.New("serve: unknown graph")
 
 // StoredGraph is one registered host graph. ID is the content
 // fingerprint (FingerprintGraph), so a graph uploaded twice — under any
@@ -78,12 +86,20 @@ func (s *Store) ReadLG(r io.Reader, fallbackName string) (sg *StoredGraph, exist
 	return sg, existed, nil
 }
 
-// Get looks a graph up by fingerprint id.
-func (s *Store) Get(id string) (*StoredGraph, bool) {
+// Get looks a graph up by fingerprint id. A miss returns an error
+// wrapping ErrUnknownGraph; any other error is a failed read (see
+// ErrUnknownGraph).
+func (s *Store) Get(id string) (*StoredGraph, error) {
+	if err := fpStoreGet.Hit(); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	sg, ok := s.byID[id]
-	return sg, ok
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownGraph, id)
+	}
+	return sg, nil
 }
 
 // List returns the registered graphs in registration order.

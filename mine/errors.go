@@ -1,0 +1,52 @@
+package mine
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrTransient is the sentinel for retryable failures: an error that
+// wraps it (or that implements `Transient() bool` returning true) tells
+// retrying layers the run may succeed if repeated from scratch with the
+// same options — an I/O hiccup, an overloaded backend — as opposed to a
+// permanent failure (bad input, a miner bug, a recovered panic) that
+// would only recur.
+var ErrTransient = errors.New("mine: transient failure")
+
+// transientError marks a wrapped error retryable; built by Transient.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string   { return e.err.Error() }
+func (e *transientError) Unwrap() error   { return e.err }
+func (e *transientError) Transient() bool { return true }
+
+// Transient wraps err as a retryable failure: IsTransient reports true
+// for the result (and for anything that wraps it). errors.Is/As still
+// reach the original error. A nil err returns nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient classifies an error for retry. It reports true only for
+// errors explicitly marked retryable — wrapped by Transient, wrapping
+// ErrTransient, or carrying a `Transient() bool` method that returns
+// true anywhere in the chain. Context errors are never transient: a
+// cancellation or deadline is a caller's decision, and retrying would
+// override it. Unknown errors default to permanent — retrying a
+// deterministic failure burns runner time to reproduce it.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var t interface{ Transient() bool }
+	if errors.As(err, &t) {
+		return t.Transient()
+	}
+	return errors.Is(err, ErrTransient)
+}

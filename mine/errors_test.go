@@ -1,0 +1,53 @@
+package mine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+type methodTransient struct{ retryable bool }
+
+func (e *methodTransient) Error() string   { return "method-classified" }
+func (e *methodTransient) Transient() bool { return e.retryable }
+
+func TestIsTransient(t *testing.T) {
+	organic := errors.New("disk on fire")
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"plain error is permanent", organic, false},
+		{"Transient wrapper", Transient(organic), true},
+		{"wrapped Transient wrapper", fmt.Errorf("attempt 2: %w", Transient(organic)), true},
+		{"ErrTransient sentinel", fmt.Errorf("flaky: %w", ErrTransient), true},
+		{"Transient() true method", &methodTransient{retryable: true}, true},
+		{"Transient() false method", &methodTransient{retryable: false}, false},
+		{"context.Canceled", context.Canceled, false},
+		{"wrapped context.Canceled", fmt.Errorf("run: %w", context.Canceled), false},
+		{"context.DeadlineExceeded", context.DeadlineExceeded, false},
+		{"transient-marked cancellation stays non-transient", Transient(context.Canceled), false},
+	}
+	for _, tc := range cases {
+		if got := IsTransient(tc.err); got != tc.want {
+			t.Errorf("%s: IsTransient(%v) = %v, want %v", tc.name, tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestTransientPreservesChain(t *testing.T) {
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) != nil")
+	}
+	organic := errors.New("disk on fire")
+	wrapped := Transient(organic)
+	if !errors.Is(wrapped, organic) {
+		t.Error("Transient broke errors.Is to the original error")
+	}
+	if wrapped.Error() != organic.Error() {
+		t.Errorf("Transient changed the message: %q vs %q", wrapped.Error(), organic.Error())
+	}
+}
