@@ -1,0 +1,435 @@
+// Command spiderload is the mixed-traffic load generator for
+// spiderserved: it drives uploads, fresh and repeat job submissions,
+// cancellations, and event-stream pollers against a target server at a
+// configurable concurrency for a configurable duration, and reports
+// client-observed p50/p95/p99 latency per endpoint class plus the cache
+// hit rate — the SLO baseline scaling PRs must not regress (committed
+// as SLO_PR7.json).
+//
+// Usage:
+//
+//	spiderload -spawn -c 8 -d 10s -seed 1 -out SLO_PR7.json
+//	spiderload -addr http://localhost:8471 -c 32 -d 60s
+//
+// With -spawn (the default when -addr is empty) an in-process server is
+// started on a loopback listener, so the measurement includes the full
+// HTTP stack but no network hop — the reproducible configuration for a
+// committed baseline. Latencies are recorded into internal/obs
+// fixed-bucket histograms, the same estimator /metrics uses, so client
+// and server quantiles are comparable.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/mine"
+)
+
+// Endpoint classes. Submit latency is the POST round-trip only (the
+// job runs asynchronously); the events class times the full NDJSON
+// stream from subscribe to the terminal status record.
+const (
+	classUpload       = "upload"
+	classSubmitFresh  = "submit_fresh"
+	classSubmitRepeat = "submit_repeat"
+	classJobGet       = "job_get"
+	classCancel       = "cancel"
+	classEvents       = "events_stream"
+	classStats        = "stats"
+)
+
+var classes = []string{
+	classUpload, classSubmitFresh, classSubmitRepeat,
+	classJobGet, classCancel, classEvents, classStats,
+}
+
+// loadStats aggregates one endpoint class: a latency histogram plus
+// outcome tallies. Rejections (503 backpressure) are split from errors —
+// shedding load is the server working as designed, a 5xx of any other
+// kind is not.
+type loadStats struct {
+	lat      *obs.Histogram
+	count    atomic.Uint64
+	errors   atomic.Uint64
+	rejected atomic.Uint64
+}
+
+type harness struct {
+	base    string
+	client  *http.Client
+	stats   map[string]*loadStats
+	graphs  []string // uploaded graph IDs
+	bodies  [][]byte // LG bodies for re-upload traffic
+	freshID atomic.Int64
+
+	submitsFresh   atomic.Uint64
+	submitsRepeat  atomic.Uint64
+	cachedObserved atomic.Uint64
+}
+
+func newHarness(base string) *harness {
+	h := &harness{
+		base:   base,
+		client: &http.Client{Timeout: 120 * time.Second},
+		stats:  make(map[string]*loadStats, len(classes)),
+	}
+	reg := obs.NewRegistry()
+	for _, c := range classes {
+		h.stats[c] = &loadStats{lat: reg.Histogram(c, "", obs.SecondsScale, obs.DurationBuckets())}
+	}
+	return h
+}
+
+// record logs one request outcome for a class.
+func (h *harness) record(class string, t0 time.Time, status int, err error) {
+	s := h.stats[class]
+	s.lat.ObserveSince(t0)
+	s.count.Add(1)
+	switch {
+	case err != nil || status >= 500 && status != http.StatusServiceUnavailable:
+		s.errors.Add(1)
+	case status == http.StatusServiceUnavailable:
+		s.rejected.Add(1)
+	}
+}
+
+// hostLG renders one synthetic §5.1 host in LG upload form. Small
+// enough that a spidermine run completes in milliseconds — the harness
+// measures the serving stack, not the miner.
+func hostLG(seed int64) []byte {
+	g, _ := mine.Synthetic(mine.SyntheticConfig{
+		N: 300, AvgDeg: 4, NumLabels: 12,
+		Large: mine.InjectSpec{NV: 10, Count: 2, Support: 6},
+		Small: mine.InjectSpec{NV: 4, Count: 6, Support: 6},
+		Seed:  seed,
+	})
+	var buf bytes.Buffer
+	g.WriteLG(&buf, fmt.Sprintf("load-host-%d", seed))
+	return buf.Bytes()
+}
+
+type storedGraph struct {
+	ID string `json:"id"`
+}
+
+type jobSnapshot struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Cached bool   `json:"cached"`
+}
+
+func (h *harness) upload(body []byte) (string, error) {
+	t0 := time.Now()
+	resp, err := h.client.Post(h.base+"/graphs", "text/plain", bytes.NewReader(body))
+	if err != nil {
+		h.record(classUpload, t0, 0, err)
+		return "", err
+	}
+	defer resp.Body.Close()
+	var sg storedGraph
+	derr := json.NewDecoder(resp.Body).Decode(&sg)
+	h.record(classUpload, t0, resp.StatusCode, derr)
+	if derr != nil {
+		return "", derr
+	}
+	return sg.ID, nil
+}
+
+// submit posts one job. Fresh submissions get a unique options seed
+// (a distinct cache key → a real mining run); repeats share one key per
+// graph (a cache hit once warmed).
+func (h *harness) submit(graphID string, fresh bool) (jobSnapshot, error) {
+	class := classSubmitRepeat
+	seed := int64(1)
+	if fresh {
+		class = classSubmitFresh
+		seed = 1000 + h.freshID.Add(1)
+	}
+	body := fmt.Sprintf(`{"graph":%q,"miner":"spidermine","options":{"min_support":3,"k":5,"seed":%d,"workers":1}}`, graphID, seed)
+	t0 := time.Now()
+	resp, err := h.client.Post(h.base+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		h.record(class, t0, 0, err)
+		return jobSnapshot{}, err
+	}
+	defer resp.Body.Close()
+	var snap jobSnapshot
+	derr := json.NewDecoder(resp.Body).Decode(&snap)
+	h.record(class, t0, resp.StatusCode, derr)
+	if resp.StatusCode >= 400 {
+		return jobSnapshot{}, fmt.Errorf("submit: %d", resp.StatusCode)
+	}
+	if fresh {
+		h.submitsFresh.Add(1)
+	} else {
+		h.submitsRepeat.Add(1)
+		if snap.Cached {
+			h.cachedObserved.Add(1)
+		}
+	}
+	return snap, derr
+}
+
+// pollTerminal polls GET /jobs/{id} until terminal, recording each poll
+// in the job_get class.
+func (h *harness) pollTerminal(id string) {
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		t0 := time.Now()
+		resp, err := h.client.Get(h.base + "/jobs/" + id)
+		if err != nil {
+			h.record(classJobGet, t0, 0, err)
+			return
+		}
+		var snap jobSnapshot
+		derr := json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		h.record(classJobGet, t0, resp.StatusCode, derr)
+		switch snap.Status {
+		case "done", "failed", "canceled":
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func (h *harness) cancel(id string) {
+	t0 := time.Now()
+	req, _ := http.NewRequest(http.MethodDelete, h.base+"/jobs/"+id, nil)
+	resp, err := h.client.Do(req)
+	if err != nil {
+		h.record(classCancel, t0, 0, err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	h.record(classCancel, t0, resp.StatusCode, err)
+}
+
+// streamEvents subscribes to the NDJSON stream and reads it to the
+// terminal status record; the recorded latency is the full stream
+// lifetime as a client observes it.
+func (h *harness) streamEvents(id string) {
+	t0 := time.Now()
+	resp, err := h.client.Get(h.base + "/jobs/" + id + "/events")
+	if err != nil {
+		h.record(classEvents, t0, 0, err)
+		return
+	}
+	_, cerr := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	h.record(classEvents, t0, resp.StatusCode, cerr)
+}
+
+func (h *harness) statsProbe() {
+	t0 := time.Now()
+	resp, err := h.client.Get(h.base + "/stats")
+	if err != nil {
+		h.record(classStats, t0, 0, err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	h.record(classStats, t0, resp.StatusCode, err)
+}
+
+// worker runs the weighted traffic mix until the deadline.
+func (h *harness) worker(rng *rand.Rand, deadline time.Time) {
+	for time.Now().Before(deadline) {
+		g := h.graphs[rng.Intn(len(h.graphs))]
+		switch p := rng.Intn(100); {
+		case p < 5: // re-upload (content-dedupe path)
+			h.upload(h.bodies[rng.Intn(len(h.bodies))])
+		case p < 30: // fresh submit, watch to completion
+			if snap, err := h.submit(g, true); err == nil {
+				h.pollTerminal(snap.ID)
+			}
+		case p < 65: // repeat submit (cache hit once warm)
+			if snap, err := h.submit(g, false); err == nil && !snap.Cached {
+				h.pollTerminal(snap.ID)
+			}
+		case p < 75: // submit then cancel
+			if snap, err := h.submit(g, true); err == nil {
+				h.cancel(snap.ID)
+				h.pollTerminal(snap.ID)
+			}
+		case p < 95: // event-stream subscriber
+			if snap, err := h.submit(g, false); err == nil {
+				h.streamEvents(snap.ID)
+			}
+		default: // operator probing /stats
+			h.statsProbe()
+		}
+	}
+}
+
+// endpointReport is the JSON readout for one class.
+type endpointReport struct {
+	Count    uint64  `json:"count"`
+	Errors   uint64  `json:"errors"`
+	Rejected uint64  `json:"rejected,omitempty"`
+	P50ms    float64 `json:"p50_ms"`
+	P95ms    float64 `json:"p95_ms"`
+	P99ms    float64 `json:"p99_ms"`
+}
+
+type report struct {
+	Generated   string                    `json:"generated"`
+	Target      string                    `json:"target"`
+	Spawned     bool                      `json:"spawned"`
+	Concurrency int                       `json:"concurrency"`
+	DurationS   float64                   `json:"duration_s"`
+	Seed        int64                     `json:"seed"`
+	Endpoints   map[string]endpointReport `json:"endpoints"`
+	Submits     struct {
+		Fresh             uint64  `json:"fresh"`
+		Repeat            uint64  `json:"repeat"`
+		CachedObserved    uint64  `json:"cached_observed"`
+		ClientCachedRatio float64 `json:"client_cached_ratio"`
+	} `json:"submits"`
+	ServerCache serve.CacheStats `json:"server_cache"`
+	HitRate     float64          `json:"server_cache_hit_rate"`
+}
+
+func quantMS(h *obs.Histogram, q float64) float64 {
+	return h.Quantile(q) / float64(time.Millisecond)
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr     = flag.String("addr", "", "target base URL (e.g. http://localhost:8471); empty spawns an in-process server")
+		spawn    = flag.Bool("spawn", false, "spawn an in-process server on a loopback listener (implied when -addr is empty)")
+		c        = flag.Int("c", 8, "concurrent load workers")
+		d        = flag.Duration("d", 10*time.Second, "load duration")
+		seed     = flag.Int64("seed", 1, "traffic-mix RNG seed")
+		out      = flag.String("out", "-", "report path ('-' = stdout)")
+		runners  = flag.Int("runners", 4, "spawned server: mining runners")
+		queueCap = flag.Int("queue", 256, "spawned server: queue capacity")
+		cacheCap = flag.Int("cache", 512, "spawned server: result cache entries")
+	)
+	flag.Parse()
+
+	target := *addr
+	spawned := *spawn || target == ""
+	if spawned {
+		srv := serve.New(serve.Config{Runners: *runners, QueueCap: *queueCap, CacheCap: *cacheCap, MaxRetries: 2})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spiderload: %v\n", err)
+			return 1
+		}
+		httpSrv := &http.Server{Handler: srv}
+		go httpSrv.Serve(ln)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+			httpSrv.Close()
+		}()
+		target = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "spiderload: spawned server at %s (runners=%d queue=%d cache=%d)\n",
+			target, *runners, *queueCap, *cacheCap)
+	}
+
+	h := newHarness(target)
+	// Seed a few distinct hosts; the bodies are kept for re-upload
+	// (dedupe) traffic during the run.
+	for i := int64(0); i < 3; i++ {
+		body := hostLG(100 + i)
+		id, err := h.upload(body)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spiderload: seeding upload: %v\n", err)
+			return 1
+		}
+		h.bodies = append(h.bodies, body)
+		h.graphs = append(h.graphs, id)
+	}
+
+	fmt.Fprintf(os.Stderr, "spiderload: %d workers for %v against %s (seed %d)\n", *c, *d, target, *seed)
+	deadline := time.Now().Add(*d)
+	var wg sync.WaitGroup
+	for i := 0; i < *c; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h.worker(rand.New(rand.NewSource(*seed+int64(i))), deadline)
+		}(i)
+	}
+	wg.Wait()
+
+	rep := report{
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		Target:      target,
+		Spawned:     spawned,
+		Concurrency: *c,
+		DurationS:   d.Seconds(),
+		Seed:        *seed,
+		Endpoints:   make(map[string]endpointReport, len(classes)),
+	}
+	for _, cl := range classes {
+		s := h.stats[cl]
+		rep.Endpoints[cl] = endpointReport{
+			Count:    s.count.Load(),
+			Errors:   s.errors.Load(),
+			Rejected: s.rejected.Load(),
+			P50ms:    quantMS(s.lat, 0.50),
+			P95ms:    quantMS(s.lat, 0.95),
+			P99ms:    quantMS(s.lat, 0.99),
+		}
+	}
+	rep.Submits.Fresh = h.submitsFresh.Load()
+	rep.Submits.Repeat = h.submitsRepeat.Load()
+	rep.Submits.CachedObserved = h.cachedObserved.Load()
+	if rep.Submits.Repeat > 0 {
+		rep.Submits.ClientCachedRatio = float64(rep.Submits.CachedObserved) / float64(rep.Submits.Repeat)
+	}
+	// The server's own cache accounting (hits/misses/degraded), for the
+	// authoritative hit rate beside the client-observed ratio.
+	if resp, err := h.client.Get(target + "/stats"); err == nil {
+		var stats struct {
+			Cache serve.CacheStats `json:"cache"`
+		}
+		json.NewDecoder(resp.Body).Decode(&stats)
+		resp.Body.Close()
+		rep.ServerCache = stats.Cache
+		if n := stats.Cache.Hits + stats.Cache.Misses; n > 0 {
+			rep.HitRate = float64(stats.Cache.Hits) / float64(n)
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spiderload: %v\n", err)
+		return 1
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return 0
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "spiderload: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "spiderload: wrote %s\n", *out)
+	return 0
+}

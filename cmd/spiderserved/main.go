@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -60,6 +61,7 @@ func run() int {
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM before in-flight jobs are cancelled into committed partials")
 		retries  = flag.Int("max-retries", 2, "max re-runs of a job after a transient failure (0 disables retries)")
 		retryB   = flag.Duration("retry-base", 100*time.Millisecond, "first retry backoff; doubles per attempt (jittered, capped at 5s)")
+		debug    = flag.String("debug-addr", "", "optional net/http/pprof listen address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
 
@@ -69,6 +71,29 @@ func run() int {
 			return 1
 		}
 		fmt.Fprintf(os.Stderr, "spiderserved: CHAOS MODE — failpoints armed from SPIDERSERVED_FAULTS: %s\n", dsl)
+	}
+
+	// The profiler gets its own listener so pprof is never exposed on the
+	// service port: the API address can face a network, the debug address
+	// stays on loopback (or off, the default).
+	if *debug != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", *debug)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spiderserved: -debug-addr: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "spiderserved: pprof on http://%s/debug/pprof/\n", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, dmux); err != nil {
+				fmt.Fprintf(os.Stderr, "spiderserved: pprof server: %v\n", err)
+			}
+		}()
 	}
 
 	srv := serve.New(serve.Config{

@@ -81,6 +81,30 @@
 //     0 allocs/op — and arming needs no rebuild (test API or the
 //     SPIDERSERVED_FAULTS env DSL).
 //
+// # Observability
+//
+// internal/obs is the zero-dependency metrics substrate: named counters,
+// gauges, and fixed-bucket histograms (p50/p95/p99 estimated from bucket
+// counts by linear interpolation) registered in a per-Server Registry.
+// Record sites follow internal/fault's discipline — a handful of atomic
+// operations and zero allocations on the hot path, enforced by an alloc
+// test — and all reads (Prometheus exposition, JSON snapshots,
+// quantiles) are lock-free over the same atomics, so scraping never
+// stalls recording. Component-owned counters (cache hits, store reads,
+// scheduler retry/panic totals) surface through scrape-time
+// CounterFunc/GaugeFunc reads, so each component stays the single source
+// of truth and /stats and /metrics can never drift apart; event-time
+// metrics (queue-wait, per-miner run latency, per-stage mining
+// wall-clock from mine.Stats.Stages, rejections by cause) record where
+// the event happens through nil-safe helpers. The serving surface
+// exposes GET /metrics (Prometheus text exposition 0.0.4), folds the
+// same snapshot into GET /stats, and cmd/spiderserved offers opt-in
+// net/http/pprof behind -debug-addr. cmd/spiderload generates mixed
+// traffic (uploads, fresh/repeat submits, cancels, event streamers) and
+// records client-observed latency quantiles per endpoint class plus the
+// cache hit rate; SLO_PR7.json is the committed baseline scaling work
+// is measured against.
+//
 // # Cancellation architecture
 //
 // context.Context threads from the façade through every mining layer down

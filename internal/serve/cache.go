@@ -38,6 +38,14 @@ type Cache struct {
 	lru     list.List // front = most recently used
 	hits    uint64
 	misses  uint64
+	// degraded counts lookups that failed in the backend and were served
+	// as misses (the serve/cache/get failpoint today; a replicated
+	// cache's network errors tomorrow). Kept apart from misses: a miss
+	// is a statement about the key ("nobody computed this"), a degrade
+	// is a statement about the cache's health — folding them together
+	// understates the real hit rate exactly when the cache is sick.
+	degraded  uint64
+	evictions uint64
 }
 
 type cacheEntry struct {
@@ -57,13 +65,16 @@ func NewCache(capacity int) *Cache {
 // A failed backend read (the serve/cache/get failpoint; a future
 // replicated cache's network errors) degrades to a miss: the cache is an
 // optimization, never a dependency, so lookups cannot fail — only miss.
+// Degrades are counted in CacheStats.Degraded, not Misses, so the
+// hit-rate SLO stays honest while faults are injected or a backend is
+// sick.
 func (c *Cache) Get(key CacheKey) (*mine.Result, bool) {
 	if c == nil || c.cap <= 0 {
 		return nil, false
 	}
 	if err := fpCacheGet.Hit(); err != nil {
 		c.mu.Lock()
-		c.misses++
+		c.degraded++
 		c.mu.Unlock()
 		return nil, false
 	}
@@ -102,23 +113,33 @@ func (c *Cache) Put(key CacheKey, res *mine.Result) {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
 	}
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness.
+// Degraded counts backend-failed lookups served as misses; the true
+// hit rate is Hits / (Hits + Misses), with Degraded reported beside it
+// rather than polluting either term.
 type CacheStats struct {
-	Hits    uint64 `json:"hits"`
-	Misses  uint64 `json:"misses"`
-	Entries int    `json:"entries"`
-	Cap     int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Degraded  uint64 `json:"degraded"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Cap       int    `json:"capacity"`
 }
 
-// Stats snapshots hit/miss counters and occupancy.
+// Stats snapshots hit/miss/degrade/eviction counters and occupancy.
 func (c *Cache) Stats() CacheStats {
 	if c == nil {
 		return CacheStats{}
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.lru.Len(), Cap: c.cap}
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses,
+		Degraded: c.degraded, Evictions: c.evictions,
+		Entries: c.lru.Len(), Cap: c.cap,
+	}
 }

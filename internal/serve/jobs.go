@@ -74,6 +74,11 @@ type Job struct {
 	created  time.Time
 	started  time.Time
 	finished time.Time
+
+	// metrics is the owning Server's observability surface (nil for a
+	// bare Scheduler); terminal transitions that happen on the Job
+	// itself (queued-job cancellation) record through it.
+	metrics *Metrics
 }
 
 // broadcastLocked wakes every waiter; callers hold j.mu.
@@ -156,6 +161,7 @@ func (j *Job) RequestCancel() {
 		j.status = StatusCanceled
 		j.err = context.Canceled
 		j.finished = time.Now().UTC()
+		j.metrics.jobFinished(StatusCanceled)
 		j.broadcastLocked()
 	case StatusRunning:
 		j.cancel()
@@ -215,6 +221,9 @@ func (j *Job) Done(ctx context.Context) error {
 // committed partials.
 type Scheduler struct {
 	cache *Cache
+	// metrics is set by serve.New before any traffic arrives; a bare
+	// NewScheduler leaves it nil and every record site no-ops.
+	metrics *Metrics
 
 	queue      chan *Job
 	runners    int
@@ -327,6 +336,7 @@ func (s *Scheduler) Submit(sg *StoredGraph, minerName string, opts mine.Options)
 		status:  StatusQueued,
 		notify:  make(chan struct{}),
 		created: time.Now().UTC(),
+		metrics: s.metrics,
 	}
 	cachedRes, hit := s.cache.Get(job.Key)
 
@@ -342,6 +352,7 @@ func (s *Scheduler) Submit(sg *StoredGraph, minerName string, opts mine.Options)
 		job.cached = true
 		job.result = cachedRes
 		job.finished = time.Now().UTC()
+		s.metrics.jobFinished(StatusDone)
 	} else {
 		select {
 		case s.queue <- job:
@@ -405,6 +416,14 @@ func (s *Scheduler) List() []*Job {
 
 // QueueDepth reports how many submitted jobs await a runner.
 func (s *Scheduler) QueueDepth() int { return len(s.queue) }
+
+// Submitted reports how many jobs Submit has accepted since startup
+// (queued or completed from cache) — a monotonic tally for metrics.
+func (s *Scheduler) Submitted() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextID
+}
 
 // QueueCap reports the FIFO queue's capacity.
 func (s *Scheduler) QueueCap() int { return s.queueCap }
@@ -510,6 +529,7 @@ func (j *Job) forceFail(err error) {
 	j.status = StatusFailed
 	j.err = err
 	j.finished = time.Now().UTC()
+	j.metrics.jobFinished(StatusFailed)
 	j.broadcastLocked()
 }
 
@@ -526,6 +546,7 @@ func (s *Scheduler) runJob(j *Job) {
 		j.status = StatusCanceled
 		j.err = context.Canceled
 		j.finished = time.Now().UTC()
+		s.metrics.jobFinished(StatusCanceled)
 		j.broadcastLocked()
 		j.mu.Unlock()
 		return
@@ -535,6 +556,7 @@ func (s *Scheduler) runJob(j *Job) {
 	j.cancel = cancel
 	j.status = StatusRunning
 	j.started = time.Now().UTC()
+	s.metrics.observeQueueWait(j.started.Sub(j.created))
 	j.broadcastLocked()
 	j.mu.Unlock()
 
@@ -573,6 +595,11 @@ func (s *Scheduler) runJob(j *Job) {
 		// above) — a fault must not be replayed to future submissions.
 		j.status = StatusFailed
 	}
+	var stages []mine.StageTime
+	if res != nil {
+		stages = res.Stats.Stages
+	}
+	s.metrics.recordRun(j.Miner, j.status, j.finished.Sub(j.started), stages)
 	j.broadcastLocked()
 	j.mu.Unlock()
 }

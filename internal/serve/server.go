@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -56,10 +57,12 @@ type Config struct {
 //	DELETE /jobs/{id}         cancel; the run winds down to committed partials
 //	GET    /jobs/{id}/events  NDJSON progress stream, terminated by a status record
 //	GET    /jobs/{id}/result  terminal result (partials included for canceled jobs)
+//	GET    /metrics           Prometheus text exposition of the serving metrics
 type Server struct {
 	store     *Store
 	cache     *Cache
 	sched     *Scheduler
+	metrics   *Metrics
 	mux       *http.ServeMux
 	maxUpload int64
 }
@@ -85,6 +88,11 @@ func New(cfg Config) *Server {
 	if cfg.RetryBase > 0 {
 		s.sched.retryBase = cfg.RetryBase
 	}
+	// Wire observability before any traffic: the scheduler records through
+	// the same Metrics the handlers and /metrics scrape read.
+	s.metrics = newMetrics()
+	s.metrics.bind(s)
+	s.sched.metrics = s.metrics
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -98,6 +106,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 
@@ -115,29 +124,35 @@ func (s *Server) Scheduler() *Scheduler { return s.sched }
 // Callers should stop HTTP intake (http.Server.Shutdown) alongside.
 func (s *Server) Shutdown(ctx context.Context) { s.sched.Shutdown(ctx) }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON writes a JSON response body. An Encode failure cannot be
+// reported to the client (the status line is gone by then) so it is
+// counted — spiderserved_http_encode_failures_total is the only place a
+// truncated response leaves a trace.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.metrics.encodeFailure()
+	}
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
+	s.writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
 // writeBackpressure is the 503 contract: a Retry-After header (seconds)
 // plus a structured JSON body carrying the same hint, so both
 // header-aware proxies and body-parsing clients can back off instead of
 // hot-looping on a loaded or draining node.
-func writeBackpressure(w http.ResponseWriter, err error, retryAfter time.Duration) {
+func (s *Server) writeBackpressure(w http.ResponseWriter, err error, retryAfter time.Duration) {
 	secs := int(retryAfter / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
-	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+	s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 		"error":         err.Error(),
 		"retry_after_s": secs,
 	})
@@ -163,7 +178,7 @@ func (s *Server) retryAfterHint(draining bool) time.Duration {
 // restart-deciders (process supervisors) key on it, and restarting a
 // draining node would discard the drain.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
 		"draining": s.sched.Draining(),
 	})
@@ -176,14 +191,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	ready, reason := s.sched.Ready()
 	if !ready {
-		writeBackpressure(w, fmt.Errorf("serve: not ready: %s", reason), s.retryAfterHint(s.sched.Draining()))
+		s.writeBackpressure(w, fmt.Errorf("serve: not ready: %s", reason), s.retryAfterHint(s.sched.Draining()))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"cache":       s.cache.Stats(),
 		"queue_depth": s.sched.QueueDepth(),
 		"queue_cap":   s.sched.QueueCap(),
@@ -191,7 +206,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"retries":     s.sched.Retries(),
 		"panics":      s.sched.Panics(),
 		"graphs":      s.store.Len(),
+		// The full metric registry (histogram quantiles included), for
+		// clients that want one JSON snapshot instead of scraping
+		// /metrics.
+		"metrics": s.metrics.reg.Snapshot(),
 	})
+}
+
+// handleMetrics serves the Prometheus text exposition (version 0.0.4) of
+// every registered family. Scraping is lock-free on the hot counters; a
+// scrape observes each atomic at its own instant, not a consistent
+// cross-metric cut.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.metrics.reg.WritePrometheus(w); err != nil {
+		s.metrics.encodeFailure()
+	}
 }
 
 func (s *Server) handleMiners(w http.ResponseWriter, r *http.Request) {
@@ -207,45 +237,59 @@ func (s *Server) handleMiners(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, minerInfo{Name: name, Description: m.Describe()})
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleUploadGraph(w http.ResponseWriter, r *http.Request) {
-	body := http.MaxBytesReader(w, r.Body, s.maxUpload)
+	body := &countingReader{r: http.MaxBytesReader(w, r.Body, s.maxUpload)}
 	sg, existed, err := s.store.ReadLG(body, r.URL.Query().Get("name"))
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("serve: upload exceeds %d bytes", s.maxUpload))
+			s.writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("serve: upload exceeds %d bytes", s.maxUpload))
 			return
 		}
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	s.metrics.upload(body.n)
 	code := http.StatusCreated
 	if existed {
 		code = http.StatusOK
 	}
-	writeJSON(w, code, sg)
+	s.writeJSON(w, code, sg)
+}
+
+// countingReader tallies bytes read through it — the accepted-upload
+// byte count for spiderserved_upload_bytes_total.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.store.List())
+	s.writeJSON(w, http.StatusOK, s.store.List())
 }
 
 func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 	sg, err := s.store.Get(r.PathValue("id"))
 	switch {
 	case errors.Is(err, ErrUnknownGraph):
-		writeError(w, http.StatusNotFound, err)
+		s.writeError(w, http.StatusNotFound, err)
 		return
 	case err != nil:
 		// A failed store read, not a miss: the graph may well exist, so
 		// steer the client to retry rather than re-upload.
-		writeBackpressure(w, fmt.Errorf("serve: graph store read failed: %w", err), s.retryAfterHint(false))
+		s.writeBackpressure(w, fmt.Errorf("serve: graph store read failed: %w", err), s.retryAfterHint(false))
 		return
 	}
-	writeJSON(w, http.StatusOK, sg)
+	s.writeJSON(w, http.StatusOK, sg)
 }
 
 // optionsJSON is the wire form of mine.Options (OnProgress has no wire
@@ -286,6 +330,36 @@ func (o optionsJSON) toOptions() mine.Options {
 	}
 }
 
+// validate rejects numeric options no mining run can mean. The façade is
+// looser in places (mine.Options treats Workers < 0 as "use GOMAXPROCS")
+// but the serving surface owns its capacity policy, so a negative knob in
+// a request is a client mistake to surface as 400 at submit time — not a
+// queued job that fails (or silently commandeers every core) later.
+func (o optionsJSON) validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"min_support", float64(o.MinSupport)},
+		{"k", float64(o.K)},
+		{"dmax", float64(o.Dmax)},
+		{"epsilon", o.Epsilon},
+		{"radius", float64(o.Radius)},
+		{"vmin", float64(o.Vmin)},
+		{"workers", float64(o.Workers)},
+		{"max_patterns", float64(o.MaxPatterns)},
+		{"max_wall_clock_ms", float64(o.MaxWallClockMS)},
+		{"max_embeddings", float64(o.MaxEmbeddings)},
+		{"max_spiders", float64(o.MaxSpiders)},
+		{"max_leaves_per_star", float64(o.MaxLeavesPerStar)},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("serve: invalid options: %s must not be negative (got %v)", f.name, f.v)
+		}
+	}
+	return nil
+}
+
 type jobRequest struct {
 	Graph   string      `json:"graph"`
 	Miner   string      `json:"miner"`
@@ -297,7 +371,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	var req jobRequest
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad job request: %w", err))
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad job request: %w", err))
 		return
 	}
 	if req.Miner == "" {
@@ -306,34 +380,33 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	sg, err := s.store.Get(req.Graph)
 	switch {
 	case errors.Is(err, ErrUnknownGraph):
-		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown graph %q (upload via POST /graphs)", req.Graph))
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown graph %q (upload via POST /graphs)", req.Graph))
 		return
 	case err != nil:
-		writeBackpressure(w, fmt.Errorf("serve: graph store read failed: %w", err), s.retryAfterHint(false))
+		s.writeBackpressure(w, fmt.Errorf("serve: graph store read failed: %w", err), s.retryAfterHint(false))
+		return
+	}
+	// Surface request-validation errors (unknown measure, negative
+	// numerics, unknown miner) at submit time rather than as a failed
+	// job. The miner check runs here — not just inside Submit — so the
+	// Submit error switch below can treat any leftover non-sentinel error
+	// as the server's fault (500), never the client's.
+	if err := req.Options.validate(); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	opts := req.Options.toOptions()
-	// Surface request-validation errors (unknown measure) at submit time
-	// rather than as a failed job.
 	if err := opts.Measure.Valid(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, err := mine.Get(req.Miner); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	job, err := s.sched.Submit(sg, req.Miner, opts)
-	switch {
-	case errors.Is(err, ErrQueueFull):
-		writeBackpressure(w, err, s.retryAfterHint(false))
-		return
-	case errors.Is(err, ErrDraining):
-		writeBackpressure(w, err, s.retryAfterHint(true))
-		return
-	case fault.IsInjected(err):
-		// An injected admission fault models transient scheduler trouble:
-		// backpressure, not a client error.
-		writeBackpressure(w, err, s.retryAfterHint(false))
-		return
-	case err != nil:
-		writeError(w, http.StatusBadRequest, err)
+	if err != nil {
+		s.writeSubmitError(w, err)
 		return
 	}
 	snap := job.Snapshot()
@@ -341,7 +414,31 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	if snap.Cached {
 		code = http.StatusOK
 	}
-	writeJSON(w, code, snap)
+	s.writeJSON(w, code, snap)
+}
+
+// writeSubmitError classifies a Scheduler.Submit error. The sentinels
+// and injected admission faults are load-shedding — 503 with a
+// Retry-After, counted by cause. Everything else reaching this point is
+// a server-side defect (the handler already validated the request:
+// graph, miner, measure, numeric options), so it must surface as 500 —
+// a 400 here would tell the client to fix a request that was fine.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		s.metrics.rejection(rejectQueueFull)
+		s.writeBackpressure(w, err, s.retryAfterHint(false))
+	case errors.Is(err, ErrDraining):
+		s.metrics.rejection(rejectDraining)
+		s.writeBackpressure(w, err, s.retryAfterHint(true))
+	case fault.IsInjected(err):
+		// An injected admission fault models transient scheduler trouble:
+		// backpressure, not a client error.
+		s.metrics.rejection(rejectFault)
+		s.writeBackpressure(w, err, s.retryAfterHint(false))
+	default:
+		s.writeError(w, http.StatusInternalServerError, fmt.Errorf("serve: submit failed: %w", err))
+	}
 }
 
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
@@ -350,13 +447,13 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 	for _, j := range jobs {
 		out = append(out, j.Snapshot())
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 	j, ok := s.sched.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", r.PathValue("id")))
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", r.PathValue("id")))
 		return nil, false
 	}
 	return j, true
@@ -364,7 +461,7 @@ func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	if j, ok := s.job(w, r); ok {
-		writeJSON(w, http.StatusOK, j.Snapshot())
+		s.writeJSON(w, http.StatusOK, j.Snapshot())
 	}
 }
 
@@ -376,7 +473,7 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	// Cancel on the job we already hold: a concurrent retention eviction
 	// must not turn a legitimate DELETE into an unknown-job error.
 	j.RequestCancel()
-	writeJSON(w, http.StatusAccepted, j.Snapshot())
+	s.writeJSON(w, http.StatusAccepted, j.Snapshot())
 }
 
 // handleJobEvents streams the job's progress as NDJSON: one
@@ -405,17 +502,21 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		for _, ev := range events {
 			if err := enc.Encode(ev); err != nil {
+				s.metrics.encodeFailure()
 				return
 			}
 		}
 		from += len(events)
 		if done {
 			snap := j.Snapshot()
-			enc.Encode(map[string]string{
+			if err := enc.Encode(map[string]string{
 				"status":    string(snap.Status),
 				"truncated": snap.Truncated,
 				"error":     snap.Error,
-			})
+			}); err != nil {
+				s.metrics.encodeFailure()
+				return
+			}
 			rc.Flush()
 			return
 		}
@@ -445,7 +546,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	}
 	res, done, err := j.Outcome()
 	if !done {
-		writeError(w, http.StatusConflict, fmt.Errorf("serve: job %q is not finished (status %q)", j.ID, j.Snapshot().Status))
+		s.writeError(w, http.StatusConflict, fmt.Errorf("serve: job %q is not finished (status %q)", j.ID, j.Snapshot().Status))
 		return
 	}
 	snap := j.Snapshot()
@@ -463,5 +564,5 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	if out.Patterns == nil {
 		out.Patterns = []*mine.Pattern{}
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // ErrUnknownGraph reports a lookup miss: no graph with that fingerprint
@@ -38,6 +39,13 @@ type Store struct {
 	mu    sync.RWMutex
 	byID  map[string]*StoredGraph
 	order []string // registration order, for stable listings
+
+	// Read-path tallies (every Get; the unknown-fingerprint subset; the
+	// backend-fault subset). The store owns them so a serving surface's
+	// /metrics reads the same numbers the store itself saw.
+	reads  obs.Counter
+	misses obs.Counter
+	faults obs.Counter
 }
 
 // NewStore returns an empty graph store.
@@ -90,13 +98,16 @@ func (s *Store) ReadLG(r io.Reader, fallbackName string) (sg *StoredGraph, exist
 // wrapping ErrUnknownGraph; any other error is a failed read (see
 // ErrUnknownGraph).
 func (s *Store) Get(id string) (*StoredGraph, error) {
+	s.reads.Inc()
 	if err := fpStoreGet.Hit(); err != nil {
+		s.faults.Inc()
 		return nil, err
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	sg, ok := s.byID[id]
 	if !ok {
+		s.misses.Inc()
 		return nil, fmt.Errorf("%w %q", ErrUnknownGraph, id)
 	}
 	return sg, nil

@@ -70,6 +70,13 @@ func (a adapter) Mine(ctx context.Context, host Host, opts Options) (*Result, er
 	}
 	res.Miner = a.name
 	res.Stats.Elapsed = time.Since(start)
+	if len(res.Stats.Stages) == 0 {
+		// Engines without an internal stage structure (everything but
+		// spidermine) still report one whole-run stage, so per-stage
+		// consumers (the serving layer's stage-duration histograms) see
+		// every miner, not just the paper's.
+		res.Stats.Stages = []StageTime{{Name: "mine", Duration: res.Stats.Elapsed}}
+	}
 	if opts.MaxPatterns > 0 && len(res.Patterns) > opts.MaxPatterns {
 		res.Patterns = res.Patterns[:opts.MaxPatterns]
 		if res.Truncated == TruncatedNone {

@@ -1,0 +1,50 @@
+package mine
+
+import (
+	"context"
+	"testing"
+)
+
+// TestStatsStagesAlwaysPopulated: the adapter guarantees every result
+// carries at least one stage timing. Engines with internal structure
+// (spidermine) report their own stages; everything else gets the
+// whole-run "mine" stage, so per-stage consumers (the serving layer's
+// stage histograms) cover every miner.
+func TestStatsStagesAlwaysPopulated(t *testing.T) {
+	g := FromEdges([]Label{1, 2, 1, 2}, []Edge{{U: 0, W: 1}, {U: 1, W: 2}, {U: 2, W: 3}})
+
+	for _, name := range []string{"moss", "subdue"} {
+		m, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Mine(context.Background(), SingleGraph(g), Options{MinSupport: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Stats.Stages) != 1 || res.Stats.Stages[0].Name != "mine" {
+			t.Fatalf("%s: stages = %+v, want the single default \"mine\" stage", name, res.Stats.Stages)
+		}
+		if res.Stats.Stages[0].Duration <= 0 {
+			t.Fatalf("%s: default stage has no duration: %+v", name, res.Stats.Stages[0])
+		}
+	}
+
+	m, err := Get("spidermine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Mine(context.Background(), SingleGraph(g), Options{MinSupport: 1, K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"spiders", "growth", "recovery"}
+	if len(res.Stats.Stages) != len(want) {
+		t.Fatalf("spidermine stages = %+v, want %v", res.Stats.Stages, want)
+	}
+	for i, st := range res.Stats.Stages {
+		if st.Name != want[i] {
+			t.Fatalf("spidermine stage %d = %q, want %q", i, st.Name, want[i])
+		}
+	}
+}
