@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -23,14 +25,16 @@ import (
 
 func main() {
 	var (
-		expID   = flag.String("experiment", "", "experiment id to run (see -list)")
-		all     = flag.Bool("all", false, "run every experiment")
-		quick   = flag.Bool("quick", false, "shrink workloads for a fast pass")
-		seed    = flag.Int64("seed", 1, "random seed (runs are deterministic per seed)")
-		workers = flag.Int("workers", 0, "mining parallelism: 0/1 sequential, N goroutines, -1 all CPUs (mined patterns are identical across settings; stats columns may differ)")
-		timeout = flag.Duration("timeout", 0, "wall-clock budget for the whole invocation; exceeding it renders partial tables and exits non-zero (0 = no limit)")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		verify  = flag.Bool("verify", false, "check every paper claim against regenerated artifacts")
+		expID      = flag.String("experiment", "", "experiment id to run (see -list)")
+		all        = flag.Bool("all", false, "run every experiment")
+		quick      = flag.Bool("quick", false, "shrink workloads for a fast pass")
+		seed       = flag.Int64("seed", 1, "random seed (runs are deterministic per seed)")
+		workers    = flag.Int("workers", 0, "mining parallelism: 0/1 sequential, N goroutines, -1 all CPUs (mined patterns are identical across settings; stats columns may differ)")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the whole invocation; exceeding it renders partial tables and exits non-zero (0 = no limit)")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		verify     = flag.Bool("verify", false, "check every paper claim against regenerated artifacts")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write an allocation profile taken at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
 
@@ -39,6 +43,35 @@ func main() {
 			fmt.Println(id)
 		}
 		return
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spiderbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "spiderbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spiderbench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		// Written at exit so the profile covers the whole run; GC first so
+		// the heap profile reflects live retention, not transient garbage.
+		defer func() {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "spiderbench: -memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 	params := experiments.Params{Seed: *seed, Quick: *quick, Workers: *workers}
 	ctx, cancel := context.Background(), context.CancelFunc(func() {})

@@ -12,11 +12,7 @@
 //     one-off pairwise tests.
 package canon
 
-import (
-	"sort"
-
-	"repro/internal/graph"
-)
+import "repro/internal/graph"
 
 // fnv64 constants for inline hashing without allocation.
 const (
@@ -37,41 +33,13 @@ func fnvMix(h uint64, x uint64) uint64 {
 // graph, computed by iterated neighborhood color refinement
 // (1-dimensional Weisfeiler–Leman). Isomorphic graphs always get equal
 // hashes; non-isomorphic graphs may collide (rarely in practice).
+//
+// The refinement state comes from a pooled Iso scratch; hot loops that
+// compute many invariants hold their own Iso and call (*Iso).Invariant.
 func Invariant(g *graph.Graph) uint64 {
-	n := g.N()
-	if n == 0 {
-		return fnvOffset
-	}
-	colors := make([]uint64, n)
-	for v := 0; v < n; v++ {
-		colors[v] = fnvMix(fnvOffset, uint64(g.Label(graph.V(v))))
-	}
-	next := make([]uint64, n)
-	rounds := refinementRounds(n)
-	buf := make([]uint64, 0, 16)
-	for r := 0; r < rounds; r++ {
-		for v := 0; v < n; v++ {
-			buf = buf[:0]
-			for _, w := range g.Neighbors(graph.V(v)) {
-				buf = append(buf, colors[w])
-			}
-			sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
-			h := fnvMix(fnvOffset, colors[v])
-			for _, c := range buf {
-				h = fnvMix(h, c)
-			}
-			next[v] = h
-		}
-		colors, next = next, colors
-	}
-	// Combine per-vertex colors into an order-independent graph hash.
-	final := append([]uint64(nil), colors...)
-	sort.Slice(final, func(i, j int) bool { return final[i] < final[j] })
-	h := fnvMix(fnvOffset, uint64(n))
-	h = fnvMix(h, uint64(g.M()))
-	for _, c := range final {
-		h = fnvMix(h, c)
-	}
+	s := isoPool.Get().(*Iso)
+	h := s.Invariant(g)
+	isoPool.Put(s)
 	return h
 }
 
@@ -90,30 +58,14 @@ func refinementRounds(n int) int {
 }
 
 // VertexColors runs the same refinement as Invariant and returns the final
-// per-vertex colors. Used by the canonical-code search to seed its initial
-// partition and by spider-set signatures.
+// per-vertex colors (freshly allocated — safe to retain). Used by the
+// canonical-code search to seed its initial partition and by spider-set
+// signatures.
 func VertexColors(g *graph.Graph) []uint64 {
-	n := g.N()
-	colors := make([]uint64, n)
-	for v := 0; v < n; v++ {
-		colors[v] = fnvMix(fnvOffset, uint64(g.Label(graph.V(v))))
-	}
-	next := make([]uint64, n)
-	buf := make([]uint64, 0, 16)
-	for r := 0; r < refinementRounds(n); r++ {
-		for v := 0; v < n; v++ {
-			buf = buf[:0]
-			for _, w := range g.Neighbors(graph.V(v)) {
-				buf = append(buf, colors[w])
-			}
-			sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
-			h := fnvMix(fnvOffset, colors[v])
-			for _, c := range buf {
-				h = fnvMix(h, c)
-			}
-			next[v] = h
-		}
-		colors, next = next, colors
-	}
-	return colors
+	s := isoPool.Get().(*Iso)
+	s.ca = s.refine(g, s.ca)
+	out := make([]uint64, g.N())
+	copy(out, s.ca)
+	isoPool.Put(s)
+	return out
 }

@@ -1,70 +1,18 @@
 package canon
 
-import (
-	"sort"
-
-	"repro/internal/graph"
-)
+import "repro/internal/graph"
 
 // Isomorphic reports whether two labeled graphs are isomorphic
 // (Definition 1: a label-preserving bijection that preserves adjacency both
 // ways). It prunes with vertex counts, edge counts, sorted degree/label
-// profiles and WL colors before falling back to backtracking.
+// profiles and WL colors before falling back to backtracking. The search
+// state comes from a pooled Iso scratch (see isoscratch.go); hot loops
+// hold their own Iso instead.
 func Isomorphic(a, b *graph.Graph) bool {
-	if a.N() != b.N() || a.M() != b.M() {
-		return false
-	}
-	n := a.N()
-	if n == 0 {
-		return true
-	}
-	if !sameProfile(a, b) {
-		return false
-	}
-	ca := VertexColors(a)
-	cb := VertexColors(b)
-	if !sameColorMultiset(ca, cb) {
-		return false
-	}
-	// Candidate sets: vertex of a can only map to b-vertices with the same
-	// WL color.
-	byColor := make(map[uint64][]graph.V)
-	for v := 0; v < n; v++ {
-		byColor[cb[v]] = append(byColor[cb[v]], graph.V(v))
-	}
-	// Order a's vertices: rarest color first, then connectivity to mapped
-	// region, to fail fast.
-	order := isoOrder(a, ca, byColor)
-
-	mapping := make([]graph.V, n) // a-vertex -> b-vertex
-	used := make([]bool, n)
-	for i := range mapping {
-		mapping[i] = -1
-	}
-	var match func(i int) bool
-	match = func(i int) bool {
-		if i == n {
-			return true
-		}
-		av := order[i]
-		for _, bv := range byColor[ca[av]] {
-			if used[bv] {
-				continue
-			}
-			if !consistent(a, b, av, bv, mapping, used) {
-				continue
-			}
-			mapping[av] = bv
-			used[bv] = true
-			if match(i + 1) {
-				return true
-			}
-			mapping[av] = -1
-			used[bv] = false
-		}
-		return false
-	}
-	return match(0)
+	s := isoPool.Get().(*Iso)
+	ok := s.MapInto(a, b) != nil
+	isoPool.Put(s)
+	return ok
 }
 
 // consistent checks that mapping av->bv preserves adjacency with all
@@ -96,83 +44,4 @@ func consistent(a, b *graph.Graph, av, bv graph.V, mapping []graph.V, isMapped [
 		}
 	}
 	return cnt == mappedNeighbors
-}
-
-func sameProfile(a, b *graph.Graph) bool {
-	n := a.N()
-	pa := make([]uint64, n)
-	pb := make([]uint64, n)
-	for v := 0; v < n; v++ {
-		pa[v] = uint64(a.Label(graph.V(v)))<<32 | uint64(a.Degree(graph.V(v)))
-		pb[v] = uint64(b.Label(graph.V(v)))<<32 | uint64(b.Degree(graph.V(v)))
-	}
-	sort.Slice(pa, func(i, j int) bool { return pa[i] < pa[j] })
-	sort.Slice(pb, func(i, j int) bool { return pb[i] < pb[j] })
-	for i := range pa {
-		if pa[i] != pb[i] {
-			return false
-		}
-	}
-	return true
-}
-
-func sameColorMultiset(ca, cb []uint64) bool {
-	sa := append([]uint64(nil), ca...)
-	sb := append([]uint64(nil), cb...)
-	sort.Slice(sa, func(i, j int) bool { return sa[i] < sa[j] })
-	sort.Slice(sb, func(i, j int) bool { return sb[i] < sb[j] })
-	for i := range sa {
-		if sa[i] != sb[i] {
-			return false
-		}
-	}
-	return true
-}
-
-// isoOrder returns a's vertices ordered so that vertices with rare colors
-// come first and every subsequent vertex is adjacent to an earlier one when
-// possible (connected expansion), which keeps the backtracking shallow.
-func isoOrder(a *graph.Graph, ca []uint64, byColor map[uint64][]graph.V) []graph.V {
-	n := a.N()
-	placed := make([]bool, n)
-	order := make([]graph.V, 0, n)
-	adjPlaced := make([]int, n)
-
-	pick := func() graph.V {
-		best := graph.V(-1)
-		for v := 0; v < n; v++ {
-			if placed[v] {
-				continue
-			}
-			if best < 0 {
-				best = graph.V(v)
-				continue
-			}
-			// Prefer higher adjacency to placed region, then rarer color,
-			// then higher degree.
-			bv, vv := best, graph.V(v)
-			switch {
-			case adjPlaced[vv] != adjPlaced[bv]:
-				if adjPlaced[vv] > adjPlaced[bv] {
-					best = vv
-				}
-			case len(byColor[ca[vv]]) != len(byColor[ca[bv]]):
-				if len(byColor[ca[vv]]) < len(byColor[ca[bv]]) {
-					best = vv
-				}
-			case a.Degree(vv) > a.Degree(bv):
-				best = vv
-			}
-		}
-		return best
-	}
-	for len(order) < n {
-		v := pick()
-		placed[v] = true
-		order = append(order, v)
-		for _, w := range a.Neighbors(v) {
-			adjPlaced[w]++
-		}
-	}
-	return order
 }

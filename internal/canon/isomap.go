@@ -4,58 +4,14 @@ import "repro/internal/graph"
 
 // IsomorphismMapping returns a label-preserving adjacency-preserving
 // bijection from a's vertices to b's vertices, or nil if the graphs are not
-// isomorphic. mapping[av] = bv.
+// isomorphic. mapping[av] = bv. The result is freshly allocated (safe to
+// retain); hot loops hold an Iso and call MapInto to skip the copy.
 func IsomorphismMapping(a, b *graph.Graph) Mapping {
-	if a.N() != b.N() || a.M() != b.M() {
-		return nil
+	s := isoPool.Get().(*Iso)
+	mp := s.MapInto(a, b)
+	if mp != nil {
+		mp = mp.Clone()
 	}
-	n := a.N()
-	if n == 0 {
-		return Mapping{}
-	}
-	if !sameProfile(a, b) {
-		return nil
-	}
-	ca := VertexColors(a)
-	cb := VertexColors(b)
-	if !sameColorMultiset(ca, cb) {
-		return nil
-	}
-	byColor := make(map[uint64][]graph.V)
-	for v := 0; v < n; v++ {
-		byColor[cb[v]] = append(byColor[cb[v]], graph.V(v))
-	}
-	order := isoOrder(a, ca, byColor)
-	mapping := make(Mapping, n)
-	used := make([]bool, n)
-	for i := range mapping {
-		mapping[i] = -1
-	}
-	var match func(i int) bool
-	match = func(i int) bool {
-		if i == n {
-			return true
-		}
-		av := order[i]
-		for _, bv := range byColor[ca[av]] {
-			if used[bv] {
-				continue
-			}
-			if !consistent(a, b, av, bv, mapping, used) {
-				continue
-			}
-			mapping[av] = bv
-			used[bv] = true
-			if match(i + 1) {
-				return true
-			}
-			mapping[av] = -1
-			used[bv] = false
-		}
-		return false
-	}
-	if match(0) {
-		return mapping
-	}
-	return nil
+	isoPool.Put(s)
+	return mp
 }

@@ -1,0 +1,293 @@
+package canon
+
+import (
+	"slices"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Iso is reusable scratch for the WL color refinement behind Invariant /
+// VertexColors and for the exact isomorphism-mapping search. The zero
+// value is ready to use; an Iso is not safe for concurrent use. Hot loops
+// (the miner's merge buckets) hold one Iso per worker; the package-level
+// Invariant / IsomorphismMapping / Isomorphic functions borrow one from a
+// sync.Pool, so one-shot callers get the pooled fast path too.
+//
+// Ownership: every slice returned by an Iso method (MapInto's Mapping,
+// refine's color slice) aliases the scratch and is invalidated by the next
+// call on the same Iso. Callers that retain results must copy them.
+type Iso struct {
+	next, buf []uint64 // refinement ping-pong buffer + neighbor-color sort buffer
+	final     []uint64 // Invariant's sorted color multiset
+	ca, cb    []uint64 // per-side vertex colors
+	sa, sb    []uint64 // sorted multiset / profile comparison scratch
+	cv        []colorVert
+	ckeys     []uint64  // sorted distinct colors of b
+	coff      []int32   // group offsets into cverts, len(ckeys)+1
+	cverts    []graph.V // b-vertices grouped by color, v-ascending per group
+	glo, ghi  []int32   // per a-vertex candidate range in cverts, resolved once
+	order     []graph.V
+	placed    []bool
+	adjPlaced []int32
+	mapping   Mapping
+	used      []bool
+}
+
+type colorVert struct {
+	c uint64
+	v graph.V
+}
+
+var isoPool = sync.Pool{New: func() any { return new(Iso) }}
+
+func growU64(b []uint64, n int) []uint64 {
+	if cap(b) < n {
+		return make([]uint64, n)
+	}
+	return b[:n]
+}
+
+// refine runs the WL color refinement of Invariant into dst (grown as
+// needed) and returns it. The result is identical to the historical
+// VertexColors output.
+func (s *Iso) refine(g *graph.Graph, dst []uint64) []uint64 {
+	n := g.N()
+	dst = growU64(dst, n)
+	s.next = growU64(s.next, n)
+	colors, next := dst, s.next
+	for v := 0; v < n; v++ {
+		colors[v] = fnvMix(fnvOffset, uint64(g.Label(graph.V(v))))
+	}
+	buf := s.buf[:0]
+	for r := refinementRounds(n); r > 0; r-- {
+		for v := 0; v < n; v++ {
+			buf = buf[:0]
+			for _, w := range g.Neighbors(graph.V(v)) {
+				buf = append(buf, colors[w])
+			}
+			slices.Sort(buf)
+			h := fnvMix(fnvOffset, colors[v])
+			for _, c := range buf {
+				h = fnvMix(h, c)
+			}
+			next[v] = h
+		}
+		colors, next = next, colors
+	}
+	s.buf = buf
+	if n > 0 && &colors[0] != &dst[0] {
+		copy(dst, colors)
+	}
+	return dst
+}
+
+// Invariant is the scratch-backed form of the package-level Invariant.
+func (s *Iso) Invariant(g *graph.Graph) uint64 {
+	n := g.N()
+	if n == 0 {
+		return fnvOffset
+	}
+	s.ca = s.refine(g, s.ca)
+	s.final = append(s.final[:0], s.ca...)
+	slices.Sort(s.final)
+	h := fnvMix(fnvOffset, uint64(n))
+	h = fnvMix(h, uint64(g.M()))
+	for _, c := range s.final {
+		h = fnvMix(h, c)
+	}
+	return h
+}
+
+func (s *Iso) sameProfile(a, b *graph.Graph) bool {
+	n := a.N()
+	sa, sb := growU64(s.sa, n), growU64(s.sb, n)
+	s.sa, s.sb = sa, sb
+	for v := 0; v < n; v++ {
+		sa[v] = uint64(a.Label(graph.V(v)))<<32 | uint64(a.Degree(graph.V(v)))
+		sb[v] = uint64(b.Label(graph.V(v)))<<32 | uint64(b.Degree(graph.V(v)))
+	}
+	slices.Sort(sa)
+	slices.Sort(sb)
+	return slices.Equal(sa, sb)
+}
+
+func (s *Iso) sameColorMultiset(ca, cb []uint64) bool {
+	sa := append(growU64(s.sa, 0), ca...)
+	sb := append(growU64(s.sb, 0), cb...)
+	s.sa, s.sb = sa, sb
+	slices.Sort(sa)
+	slices.Sort(sb)
+	return slices.Equal(sa, sb)
+}
+
+// isoOrderInto is isoOrder over pooled slices: a's vertices ordered so
+// that vertices with rare colors come first and every subsequent vertex is
+// adjacent to an earlier one when possible, keeping backtracking shallow.
+// Candidate-group sizes come from the per-vertex ranges MapInto resolved
+// (s.glo/s.ghi) — the O(n²) pick loop below must not re-search colors.
+func (s *Iso) isoOrderInto(a *graph.Graph) []graph.V {
+	n := a.N()
+	if cap(s.placed) < n {
+		s.placed = make([]bool, n)
+		s.adjPlaced = make([]int32, n)
+	}
+	placed, adjPlaced := s.placed[:n], s.adjPlaced[:n]
+	for i := 0; i < n; i++ {
+		placed[i], adjPlaced[i] = false, 0
+	}
+	order := s.order[:0]
+
+	pick := func() graph.V {
+		best := graph.V(-1)
+		for v := 0; v < n; v++ {
+			if placed[v] {
+				continue
+			}
+			if best < 0 {
+				best = graph.V(v)
+				continue
+			}
+			// Prefer higher adjacency to placed region, then rarer color,
+			// then higher degree.
+			bv, vv := best, graph.V(v)
+			switch {
+			case adjPlaced[vv] != adjPlaced[bv]:
+				if adjPlaced[vv] > adjPlaced[bv] {
+					best = vv
+				}
+			case s.ghi[vv]-s.glo[vv] != s.ghi[bv]-s.glo[bv]:
+				if s.ghi[vv]-s.glo[vv] < s.ghi[bv]-s.glo[bv] {
+					best = vv
+				}
+			case a.Degree(vv) > a.Degree(bv):
+				best = vv
+			}
+		}
+		return best
+	}
+	for len(order) < n {
+		v := pick()
+		placed[v] = true
+		order = append(order, v)
+		for _, w := range a.Neighbors(v) {
+			adjPlaced[w]++
+		}
+	}
+	s.order = order
+	return order
+}
+
+// MapInto is the scratch-backed form of IsomorphismMapping: a
+// label-preserving adjacency-preserving bijection from a's vertices to b's
+// (mapping[av] = bv), or nil. The returned Mapping aliases the scratch —
+// copy it to retain it past the next call.
+func (s *Iso) MapInto(a, b *graph.Graph) Mapping {
+	if a.N() != b.N() || a.M() != b.M() {
+		return nil
+	}
+	n := a.N()
+	if n == 0 {
+		return Mapping{}
+	}
+	if !s.sameProfile(a, b) {
+		return nil
+	}
+	s.ca = s.refine(a, s.ca)
+	s.cb = s.refine(b, s.cb)
+	ca, cb := s.ca, s.cb
+	if !s.sameColorMultiset(ca, cb) {
+		return nil
+	}
+	// Candidate sets: a-vertex can only map to b-vertices with the same WL
+	// color. Flat grouped layout in place of the historical map[uint64][]V;
+	// groups come out v-ascending, the exact order the map-era appends
+	// produced, so the backtracking visits candidates identically.
+	cv := s.cv[:0]
+	for v := 0; v < n; v++ {
+		cv = append(cv, colorVert{cb[v], graph.V(v)})
+	}
+	slices.SortFunc(cv, func(x, y colorVert) int {
+		switch {
+		case x.c < y.c:
+			return -1
+		case x.c > y.c:
+			return 1
+		}
+		return int(x.v) - int(y.v)
+	})
+	s.cv = cv
+	ckeys, coff, cverts := s.ckeys[:0], s.coff[:0], s.cverts[:0]
+	for i := 0; i < len(cv); {
+		j := i
+		for j < len(cv) && cv[j].c == cv[i].c {
+			j++
+		}
+		ckeys = append(ckeys, cv[i].c)
+		coff = append(coff, int32(i))
+		i = j
+	}
+	coff = append(coff, int32(len(cv)))
+	for _, x := range cv {
+		cverts = append(cverts, x.v)
+	}
+	s.ckeys, s.coff, s.cverts = ckeys, coff, cverts
+	// Resolve each a-vertex's candidate range once — n binary searches
+	// total, so neither the ordering pass nor the backtracker searches the
+	// color table again.
+	if cap(s.glo) < n {
+		s.glo = make([]int32, n)
+		s.ghi = make([]int32, n)
+	}
+	glo, ghi := s.glo[:n], s.ghi[:n]
+	s.glo, s.ghi = glo, ghi
+	for v := 0; v < n; v++ {
+		if k, ok := slices.BinarySearch(ckeys, ca[v]); ok {
+			glo[v], ghi[v] = coff[k], coff[k+1]
+		} else {
+			glo[v], ghi[v] = 0, 0
+		}
+	}
+
+	order := s.isoOrderInto(a)
+	if cap(s.mapping) < n {
+		s.mapping = make(Mapping, n)
+		s.used = make([]bool, n)
+	}
+	mapping, used := s.mapping[:n], s.used[:n]
+	for i := 0; i < n; i++ {
+		mapping[i], used[i] = -1, false
+	}
+	var match func(i int) bool
+	match = func(i int) bool {
+		if i == n {
+			return true
+		}
+		av := order[i]
+		for _, bv := range s.cverts[glo[av]:ghi[av]] {
+			if used[bv] {
+				continue
+			}
+			if !consistent(a, b, av, bv, mapping, used) {
+				continue
+			}
+			mapping[av] = bv
+			used[bv] = true
+			if match(i + 1) {
+				return true
+			}
+			mapping[av] = -1
+			used[bv] = false
+		}
+		return false
+	}
+	if match(0) {
+		return mapping
+	}
+	return nil
+}
+
+// Isomorphic is the scratch-backed form of the package-level Isomorphic.
+func (s *Iso) Isomorphic(a, b *graph.Graph) bool {
+	return s.MapInto(a, b) != nil
+}

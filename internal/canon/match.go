@@ -35,6 +35,17 @@ func AppendImageKey(buf []byte, p *graph.Graph, m Mapping) []byte {
 	return buf
 }
 
+// ImageHash returns the 128-bit hash identifying the host subgraph image
+// of mapping m — the hash-keyed equivalent of ImageKey, for dedupe sets
+// that would otherwise materialize a string per probe (see HashEdges for
+// the collision trade-off). buf is caller-owned edge scratch, returned
+// grown for reuse across calls.
+func ImageHash(buf []graph.Edge, p *graph.Graph, m Mapping) ([2]uint64, []graph.Edge) {
+	edges := AppendMappedEdges(buf[:0], p, m)
+	sortEdges(edges)
+	return HashEdges(edges), edges
+}
+
 // AppendMappedEdges appends the host image of p's edge set under m —
 // NormEdge(m[u], m[w]) for every pattern edge {u, w} — to buf, unsorted.
 func AppendMappedEdges(buf []graph.Edge, p *graph.Graph, m Mapping) []graph.Edge {

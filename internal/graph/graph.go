@@ -188,6 +188,23 @@ func NewBuilder(n, m int) *Builder {
 	}
 }
 
+// Reset empties the builder for reuse, keeping its backing arrays (grown
+// to at least n vertices / m edges of capacity). Hot loops that build many
+// short-lived pattern graphs hold one Builder and Reset it per graph
+// instead of allocating a new one; note Build still allocates the Graph it
+// returns — only the builder-side churn is reused.
+func (b *Builder) Reset(n, m int) {
+	if cap(b.labels) < n {
+		b.labels = make([]Label, 0, n)
+	}
+	if cap(b.edges) < m {
+		b.edges = make([]Edge, 0, m)
+	}
+	b.labels = b.labels[:0]
+	b.edges = b.edges[:0]
+	b.seen = nil
+}
+
 // AddVertex appends a vertex with the given label and returns its id.
 func (b *Builder) AddVertex(l Label) V {
 	b.labels = append(b.labels, l)

@@ -65,19 +65,51 @@ func (g *Graph) Neighborhood(v V, r int) (*Graph, []V) {
 	return g.Induced(verts)
 }
 
+// SubgraphOfEdgesInto is SubgraphOfEdges over caller-owned scratch: verts
+// (reused, returned grown) collects the endpoint set and b builds the
+// subgraph (Reset internally). The returned vertex slice aliases the
+// scratch — callers that retain the mapping must copy it; the Graph itself
+// is freshly built and independent.
+func (g *Graph) SubgraphOfEdgesInto(edges []Edge, verts []V, b *Builder) (*Graph, []V) {
+	verts = verts[:0]
+	for _, e := range edges {
+		verts = append(verts, e.U, e.W)
+	}
+	slices.Sort(verts)
+	verts = slices.Compact(verts)
+	b.Reset(len(verts), len(edges))
+	for _, v := range verts {
+		b.AddVertex(g.Label(v))
+	}
+	for _, e := range edges {
+		u, _ := slices.BinarySearch(verts, e.U)
+		w, _ := slices.BinarySearch(verts, e.W)
+		b.AddEdge(V(u), V(w))
+	}
+	return b.Build(), verts
+}
+
 // Union returns the union graph of two subgraph vertex/edge sets drawn from
 // the same host graph, expressed as host edges; endpoints are implied.
 // Used when merging overlapping pattern embeddings.
 func UnionEdges(a, b []Edge) []Edge {
-	out := make([]Edge, 0, len(a)+len(b))
+	return AppendUnionEdges(make([]Edge, 0, len(a)+len(b)), a, b)
+}
+
+// AppendUnionEdges is UnionEdges into caller-owned scratch: the normalized,
+// sorted, deduplicated union of a and b is appended to dst (usually
+// dst[:0] of a reused buffer) and returned.
+func AppendUnionEdges(dst []Edge, a, b []Edge) []Edge {
+	base := len(dst)
 	for _, e := range a {
-		out = append(out, NormEdge(e.U, e.W))
+		dst = append(dst, NormEdge(e.U, e.W))
 	}
 	for _, e := range b {
-		out = append(out, NormEdge(e.U, e.W))
+		dst = append(dst, NormEdge(e.U, e.W))
 	}
+	out := dst[base:]
 	slices.SortFunc(out, cmpEdge)
-	return slices.Compact(out)
+	return dst[:base+len(slices.Compact(out))]
 }
 
 func cmpEdge(a, b Edge) int {

@@ -65,6 +65,25 @@ func (g *Graph) BFSFrom(src V) []int {
 	return dist
 }
 
+// AppendAtDistance appends to dst the vertices at exactly distance d from
+// src, in ascending vertex order, and returns the extended slice. The BFS
+// state is pooled, so steady-state calls allocate only if dst must grow —
+// this is the growth loop's boundary computation (pattern.AppendBoundary).
+func (g *Graph) AppendAtDistance(dst []V, src V, d int) []V {
+	if int(src) >= g.N() || src < 0 {
+		return dst
+	}
+	s := bfsPool.Get().(*bfsScratch)
+	g.bfs(s, src)
+	for v, dv := range s.dist {
+		if int(dv) == d {
+			dst = append(dst, V(v))
+		}
+	}
+	bfsPool.Put(s)
+	return dst
+}
+
 // BFSWithin returns the set of vertices within distance r of src
 // (including src itself) along with their distances. It stops expanding at
 // depth r, so cost is proportional to the r-neighborhood, not the graph.

@@ -180,14 +180,19 @@ func Map[T any](ctx context.Context, n, workers int, fn func(worker, item int) T
 // cover [0, n) exactly, in ascending order, so concatenating per-chunk
 // results in chunk order preserves the sequential item order.
 func Chunks(n, workers int) [][2]int {
+	return AppendChunks(nil, n, workers)
+}
+
+// AppendChunks is Chunks appending into dst, for callers that keep a
+// pooled chunk list across runs (pass dst[:0] to reuse the backing).
+func AppendChunks(dst [][2]int, n, workers int) [][2]int {
 	if n <= 0 {
-		return nil
+		return dst
 	}
 	workers = Bound(n, workers)
 	if workers <= 1 {
-		return [][2]int{{0, n}}
+		return append(dst, [2]int{0, n})
 	}
-	out := make([][2]int, 0, workers)
 	size, rem := n/workers, n%workers
 	lo := 0
 	for c := 0; c < workers; c++ {
@@ -195,8 +200,8 @@ func Chunks(n, workers int) [][2]int {
 		if c < rem {
 			hi++
 		}
-		out = append(out, [2]int{lo, hi})
+		dst = append(dst, [2]int{lo, hi})
 		lo = hi
 	}
-	return out
+	return dst
 }

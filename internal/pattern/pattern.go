@@ -7,7 +7,7 @@ package pattern
 
 import (
 	"fmt"
-	"sort"
+	"sync"
 
 	"repro/internal/canon"
 	"repro/internal/graph"
@@ -116,22 +116,38 @@ func (p *Pattern) String() string {
 	return fmt.Sprintf("pattern{id=%d v=%d e=%d emb=%d}", p.ID, p.NV(), p.Size(), len(p.Emb))
 }
 
+// dedupeScratch pools the image-hash set and edge buffer DedupeEmbeddings
+// probes with, so per-seed dedupe passes stop allocating a string per
+// embedding (128-bit image hashes stand in for ImageKey strings — the
+// accepted collision trade-off, see canon.HashEdges).
+type dedupeScratch struct {
+	seen map[[2]uint64]struct{}
+	buf  []graph.Edge
+}
+
+var dedupePool = sync.Pool{
+	New: func() any { return &dedupeScratch{seen: make(map[[2]uint64]struct{})} },
+}
+
 // DedupeEmbeddings removes embeddings that denote the same host subgraph,
 // keeping first occurrences, and returns the number removed.
 func (p *Pattern) DedupeEmbeddings() int {
-	seen := make(map[string]struct{}, len(p.Emb))
+	s := dedupePool.Get().(*dedupeScratch)
+	clear(s.seen)
 	kept := p.Emb[:0]
 	removed := 0
 	for _, e := range p.Emb {
-		k := e.ImageKey(p.G)
-		if _, dup := seen[k]; dup {
+		var h [2]uint64
+		h, s.buf = canon.ImageHash(s.buf, p.G, canon.Mapping(e))
+		if _, dup := s.seen[h]; dup {
 			removed++
 			continue
 		}
-		seen[k] = struct{}{}
+		s.seen[h] = struct{}{}
 		kept = append(kept, e)
 	}
 	p.Emb = kept
+	dedupePool.Put(s)
 	return removed
 }
 
@@ -140,22 +156,22 @@ func (p *Pattern) DedupeEmbeddings() int {
 // boundary is every vertex (merged patterns grow from their whole rim).
 // Vertices are returned sorted, matching the paper's lexicographic queue.
 func (p *Pattern) Boundary(radius int) []graph.V {
+	return p.AppendBoundary(nil, radius)
+}
+
+// AppendBoundary is Boundary into caller-owned scratch: the boundary
+// vertices (ascending) are appended to dst and the extended slice
+// returned. The growth loop reuses one buffer per worker this way; the
+// BFS behind it is pooled (graph.AppendAtDistance), so warm calls only
+// allocate if dst must grow.
+func (p *Pattern) AppendBoundary(dst []graph.V, radius int) []graph.V {
 	if p.Origin < 0 {
-		all := make([]graph.V, p.NV())
-		for i := range all {
-			all[i] = graph.V(i)
+		for i := 0; i < p.NV(); i++ {
+			dst = append(dst, graph.V(i))
 		}
-		return all
+		return dst
 	}
-	dist := p.G.BFSFrom(p.Origin)
-	var out []graph.V
-	for v, d := range dist {
-		if d == radius {
-			out = append(out, graph.V(v))
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return p.G.AppendAtDistance(dst, p.Origin, radius)
 }
 
 // UsesHostVertex reports whether any embedding of p covers hv, and returns

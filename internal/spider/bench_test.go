@@ -1,6 +1,7 @@
 package spider
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -46,5 +47,23 @@ func BenchmarkRandomSeed(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		RandomSeed(g, c, 86, 8, rng, 0)
+	}
+}
+
+// BenchmarkStarMinerWarm measures a reused StarMiner re-mining the GID-1
+// host: the steady-state Stage I cost inside a multi-run Miner. Warm runs
+// must report 0 allocs/op (pinned by TestStarMinerWarmNoAlloc).
+func BenchmarkStarMinerWarm(b *testing.B) {
+	g, _ := gen.Synthetic(gen.GIDConfig(1, 1))
+	var sm StarMiner
+	if _, err := sm.Mine(context.Background(), g, Options{MinSupport: 2}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sm.Mine(context.Background(), g, Options{MinSupport: 2}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

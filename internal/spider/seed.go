@@ -71,12 +71,42 @@ func RandomSeed(g *graph.Graph, c *Catalog, m int, perHostCap int, rng *rand.Ran
 // cancellable work, so a cancelled draw (nil result + ctx.Err()) leaves
 // the caller's rng stream exactly where an uncancelled draw would.
 func RandomSeedContext(ctx context.Context, g *graph.Graph, c *Catalog, m int, perHostCap int, rng *rand.Rand, workers int) ([]*pattern.Pattern, error) {
+	var sd Seeder
+	return sd.Draw(ctx, g, c, m, perHostCap, rng, workers)
+}
+
+// Seeder owns the random-draw scratch — the permutation buffer and the
+// per-worker Materializers — so repeated draws (one per restart, every
+// run) stop allocating per-call tables. The zero value is ready to use;
+// a Seeder is not safe for concurrent use.
+type Seeder struct {
+	perm []int
+	ws   par.Workspace[Materializer]
+}
+
+// Draw implements RandomSeedContext on reusable scratch; see
+// RandomSeedContext for the semantics and determinism contract.
+func (sd *Seeder) Draw(ctx context.Context, g *graph.Graph, c *Catalog, m int, perHostCap int, rng *rand.Rand, workers int) ([]*pattern.Pattern, error) {
 	if m > c.Len() {
 		m = c.Len()
 	}
-	idx := rng.Perm(c.Len())[:m]
+	// In-place replica of rand.Perm: identical rng consumption (one
+	// Intn(i+1) per i in [0, n) — the i=0 draw is a no-op swap but rand.Perm
+	// performs it for Go 1 stream compatibility, so we must too) and
+	// identical output, into a reused buffer.
+	n := c.Len()
+	if cap(sd.perm) < n {
+		sd.perm = make([]int, n)
+	}
+	perm := sd.perm[:n]
+	for i := 0; i < n; i++ {
+		j := rng.Intn(i + 1)
+		perm[i] = perm[j]
+		perm[j] = i
+	}
+	idx := perm[:m]
 	wk := par.Bound(len(idx), workers)
-	mats := make([]Materializer, wk) // per-worker enumeration scratch
+	mats := sd.ws.For(wk) // per-worker enumeration scratch
 	seeds, err := par.Map(ctx, len(idx), wk, func(w, i int) *pattern.Pattern {
 		p := mats[w].Materialize(g, c.Stars[idx[i]], perHostCap)
 		p.ID = i
@@ -101,6 +131,9 @@ type Materializer struct {
 	groups []leafGroup
 	cand   [][]graph.V
 	assign [][]graph.V
+	cidx   [][]int     // per-group combination index scratch
+	cbuf   [][]graph.V // per-group combination output scratch
+	b      graph.Builder
 }
 
 // leafGroup is a run of equal leaf labels with its multiplicity.
@@ -116,10 +149,18 @@ func (mz *Materializer) Materialize(g *graph.Graph, ms *MinedStar, perHostCap in
 	if perHostCap <= 0 {
 		perHostCap = DefaultPerHostCap
 	}
-	pg := ms.Star.Graph()
+	// Star.Graph() through the reused builder (the Graph it returns is
+	// fresh and retained by the pattern; only builder churn is pooled).
+	mz.b.Reset(1+len(ms.Star.Leaves), len(ms.Star.Leaves))
+	head := mz.b.AddVertex(ms.Star.Head)
+	for _, l := range ms.Star.Leaves {
+		leaf := mz.b.AddVertex(l)
+		mz.b.AddEdge(head, leaf)
+	}
+	pg := mz.b.Build()
 	var embs []pattern.Embedding
-	for _, head := range ms.Hosts {
-		embs = append(embs, mz.starEmbeddings(g, ms.Star, head, perHostCap)...)
+	for _, h := range ms.Hosts {
+		embs = mz.appendStarEmbeddings(embs, g, ms.Star, h, perHostCap)
 	}
 	p := pattern.New(pg, embs)
 	p.Origin = 0
@@ -133,12 +174,13 @@ func Materialize(g *graph.Graph, ms *MinedStar, perHostCap int) *pattern.Pattern
 	return mz.Materialize(g, ms, perHostCap)
 }
 
-// starEmbeddings enumerates up to cap distinct leaf assignments of the star
-// at the given head. Leaves with equal labels are interchangeable, so
-// assignments are enumerated as combinations per label group (host
-// neighbors in sorted order), which both avoids duplicate subgraphs and
-// keeps enumeration deterministic.
-func (mz *Materializer) starEmbeddings(g *graph.Graph, s Star, head graph.V, cap int) []pattern.Embedding {
+// appendStarEmbeddings appends up to capPerHost distinct leaf assignments
+// of the star at the given head to embs. Leaves with equal labels are
+// interchangeable, so assignments are enumerated as combinations per label
+// group (host neighbors in sorted order), which both avoids duplicate
+// subgraphs and keeps enumeration deterministic. The only per-embedding
+// allocation is the retained embedding itself.
+func (mz *Materializer) appendStarEmbeddings(embs []pattern.Embedding, g *graph.Graph, s Star, head graph.V, capPerHost int) []pattern.Embedding {
 	// Group leaf labels with multiplicities (Leaves is sorted).
 	mz.groups = mz.groups[:0]
 	for _, l := range s.Leaves {
@@ -150,10 +192,14 @@ func (mz *Materializer) starEmbeddings(g *graph.Graph, s Star, head graph.V, cap
 	}
 	groups := mz.groups
 	// Candidate neighbors per group, reusing the backing arrays from
-	// earlier heads.
+	// earlier heads. Combination scratch is per group depth — the
+	// enumeration nests one combinations walk per group, so the frames
+	// must not share buffers.
 	for len(mz.cand) < len(groups) {
 		mz.cand = append(mz.cand, nil)
 		mz.assign = append(mz.assign, nil)
+		mz.cidx = append(mz.cidx, nil)
+		mz.cbuf = append(mz.cbuf, nil)
 	}
 	cand := mz.cand[:len(groups)]
 	for gi, gr := range groups {
@@ -164,14 +210,14 @@ func (mz *Materializer) starEmbeddings(g *graph.Graph, s Star, head graph.V, cap
 			}
 		}
 		if len(cand[gi]) < gr.count {
-			return nil
+			return embs
 		}
 	}
-	var out []pattern.Embedding
+	base := len(embs)
 	assignment := mz.assign[:len(groups)]
 	var rec func(gi int)
 	rec = func(gi int) {
-		if len(out) >= cap {
+		if len(embs)-base >= capPerHost {
 			return
 		}
 		if gi == len(groups) {
@@ -180,31 +226,43 @@ func (mz *Materializer) starEmbeddings(g *graph.Graph, s Star, head graph.V, cap
 			for _, chosen := range assignment {
 				emb = append(emb, chosen...)
 			}
-			out = append(out, emb)
+			embs = append(embs, emb)
 			return
 		}
-		combinations(cand[gi], groups[gi].count, func(chosen []graph.V) bool {
+		combinationsInto(cand[gi], groups[gi].count, &mz.cidx[gi], &mz.cbuf[gi], func(chosen []graph.V) bool {
 			assignment[gi] = chosen
 			rec(gi + 1)
-			return len(out) < cap
+			return len(embs)-base < capPerHost
 		})
 	}
 	rec(0)
-	return out
+	return embs
 }
 
-// combinations enumerates k-subsets of xs in lexicographic order, calling
-// fn with each; fn returning false stops enumeration.
+// combinations is combinationsInto with throwaway scratch (one-shot
+// callers and tests).
 func combinations(xs []graph.V, k int, fn func([]graph.V) bool) {
+	var idx []int
+	var buf []graph.V
+	combinationsInto(xs, k, &idx, &buf, fn)
+}
+
+// combinationsInto enumerates k-subsets of xs in lexicographic order,
+// calling fn with each; fn returning false stops enumeration. idxp/bufp
+// are caller-owned scratch grown in place (one pair per nesting depth).
+func combinationsInto(xs []graph.V, k int, idxp *[]int, bufp *[]graph.V, fn func([]graph.V) bool) {
 	n := len(xs)
 	if k > n || k <= 0 {
 		return
 	}
-	idx := make([]int, k)
+	if cap(*idxp) < k {
+		*idxp = make([]int, k)
+		*bufp = make([]graph.V, k)
+	}
+	idx, buf := (*idxp)[:k], (*bufp)[:k]
 	for i := range idx {
 		idx[i] = i
 	}
-	buf := make([]graph.V, k)
 	for {
 		for i, j := range idx {
 			buf[i] = xs[j]

@@ -128,172 +128,14 @@ func MineStars(g *graph.Graph, opt Options) []*MinedStar {
 // expansion; on ctx expiry the stars of every *completed* level are
 // returned alongside ctx.Err() — levels commit atomically, so the partial
 // catalog is deterministic for a cancellation observed at any given level.
+//
+// Each call runs on a throwaway StarMiner, so the returned stars are
+// caller-owned; loops that mine repeatedly should hold a StarMiner and
+// call its Mine method to reuse the scratch (minding its output-ownership
+// contract).
 func MineStarsContext(ctx context.Context, g *graph.Graph, opt Options) ([]*MinedStar, error) {
-	sigma := opt.MinSupport
-	if sigma < 1 {
-		sigma = 1
-	}
-	maxLeaves := opt.MaxLeaves
-	if maxLeaves <= 0 {
-		maxLeaves = g.MaxDegree()
-	}
-
-	// Per-vertex neighbor label multiset, as sorted label slices carved out
-	// of one flat allocation per worker chunk (the ranges mirror the
-	// graph's CSR layout). Chunks partition the vertex range contiguously,
-	// so each worker writes disjoint nbrLabels slots.
-	nbrLabels := make([][]graph.Label, g.N())
-	chunks := par.Chunks(g.N(), opt.Workers)
-	if err := par.Do(ctx, len(chunks), len(chunks), func(_, ci int) {
-		lo, hi := chunks[ci][0], chunks[ci][1]
-		size := 0
-		for v := lo; v < hi; v++ {
-			size += g.Degree(graph.V(v))
-		}
-		flat := make([]graph.Label, 0, size)
-		for v := lo; v < hi; v++ {
-			start := len(flat)
-			for _, w := range g.Neighbors(graph.V(v)) {
-				flat = append(flat, g.Label(w))
-			}
-			ls := flat[start:]
-			slices.Sort(ls)
-			nbrLabels[v] = ls
-		}
-	}); err != nil {
-		return nil, err
-	}
-	countLabel := func(v graph.V, l graph.Label) int {
-		ls := nbrLabels[v]
-		lo, _ := slices.BinarySearch(ls, l)
-		hi := lo
-		for hi < len(ls) && ls[hi] == l {
-			hi++
-		}
-		return hi - lo
-	}
-
-	// Level 1: partition the candidate head vertices across workers, each
-	// building a local (head label, leaf label) → hosts table, then merge
-	// the locals in chunk order. Chunks are ascending contiguous vertex
-	// ranges, so every merged host list comes out ascending — the same
-	// lists the sequential scan builds.
-	type hostKey struct {
-		head, leaf graph.Label
-	}
-	locals, err := par.Map(ctx, len(chunks), len(chunks), func(_, ci int) map[hostKey][]graph.V {
-		local := make(map[hostKey][]graph.V)
-		for v := chunks[ci][0]; v < chunks[ci][1]; v++ {
-			hl := g.Label(graph.V(v))
-			var prev graph.Label = -1
-			for _, l := range nbrLabels[v] {
-				if l == prev {
-					continue
-				}
-				prev = l
-				local[hostKey{hl, l}] = append(local[hostKey{hl, l}], graph.V(v))
-			}
-		}
-		return local
-	})
-	if err != nil {
-		return nil, err
-	}
-	var lvl1 map[hostKey][]graph.V
-	if len(locals) == 1 {
-		lvl1 = locals[0] // sequential / single-chunk: no copy
-	} else {
-		lvl1 = make(map[hostKey][]graph.V)
-		for _, local := range locals {
-			for k, hosts := range local {
-				lvl1[k] = append(lvl1[k], hosts...)
-			}
-		}
-	}
-	var frontier []*MinedStar
-	for k, hosts := range lvl1 {
-		if len(hosts) >= sigma {
-			slices.Sort(hosts)
-			frontier = append(frontier, &MinedStar{
-				Star:  Star{Head: k.head, Leaves: []graph.Label{k.leaf}},
-				Hosts: hosts,
-			})
-		}
-	}
-	sortMined(frontier)
-
-	all := append([]*MinedStar(nil), frontier...)
-	expand := func(ms *MinedStar) []*MinedStar {
-		var out []*MinedStar
-		last := ms.Star.Leaves[len(ms.Star.Leaves)-1]
-		// Candidate extension labels: any label >= last present among
-		// hosts' neighbors.
-		candSet := make(map[graph.Label]struct{})
-		for _, v := range ms.Hosts {
-			ls := nbrLabels[v]
-			lo, _ := slices.BinarySearch(ls, last)
-			var prev graph.Label = -1
-			for _, l := range ls[lo:] {
-				if l != prev {
-					candSet[l] = struct{}{}
-					prev = l
-				}
-			}
-		}
-		cands := make([]graph.Label, 0, len(candSet))
-		for l := range candSet {
-			cands = append(cands, l)
-		}
-		slices.Sort(cands)
-
-		needOf := func(l graph.Label) int {
-			need := 1
-			for _, x := range ms.Star.Leaves {
-				if x == l {
-					need++
-				}
-			}
-			return need
-		}
-		for _, l := range cands {
-			need := needOf(l)
-			var hosts []graph.V
-			for _, v := range ms.Hosts {
-				if countLabel(v, l) >= need {
-					hosts = append(hosts, v)
-				}
-			}
-			if len(hosts) < sigma {
-				continue
-			}
-			leaves := make([]graph.Label, len(ms.Star.Leaves)+1)
-			copy(leaves, ms.Star.Leaves)
-			leaves[len(leaves)-1] = l
-			slices.Sort(leaves)
-			out = append(out, &MinedStar{Star: Star{Head: ms.Star.Head, Leaves: leaves}, Hosts: hosts})
-		}
-		return out
-	}
-	for level := 1; level < maxLeaves && len(frontier) > 0; level++ {
-		if opt.MaxSpiders > 0 && len(all) >= opt.MaxSpiders {
-			break
-		}
-		next, err := expandLevel(ctx, frontier, expand, opt.Workers)
-		if err != nil {
-			// Return only fully committed levels: the partial catalog is
-			// then a deterministic function of how many levels completed.
-			return all, err
-		}
-		// Canonical generation (extend only with labels >= last) guarantees
-		// uniqueness already; sort for determinism.
-		sortMined(next)
-		all = append(all, next...)
-		frontier = next
-	}
-	if opt.MaxSpiders > 0 && len(all) > opt.MaxSpiders {
-		all = all[:opt.MaxSpiders]
-	}
-	return all, nil
+	var sm StarMiner
+	return sm.Mine(ctx, g, opt)
 }
 
 func sortMined(ms []*MinedStar) {
@@ -319,37 +161,86 @@ func expandLevel(ctx context.Context, frontier []*MinedStar, expand func(*MinedS
 }
 
 // Catalog indexes mined spiders for the random draw and the per-head
-// Spider(v) lookup used by SpiderGrow and the Lemma 2 analysis.
+// Spider(v) lookup used by SpiderGrow and the Lemma 2 analysis. The
+// per-head index is a flat CSR-shaped table (headOff/headIdx) instead of
+// the historical map[graph.V][]int, rebuilt in place across runs by
+// Rebuild.
 type Catalog struct {
-	Stars  []*MinedStar
-	byHead map[graph.V][]int
+	Stars []*MinedStar
+
+	nV      int
+	headOff []int32 // len nV+1; spider-index range of v is headIdx[headOff[v]:headOff[v+1]]
+	headIdx []int32
+	cursor  []int32 // Rebuild fill scratch
 }
 
 // NewCatalog builds a catalog over mined stars.
 func NewCatalog(stars []*MinedStar) *Catalog {
-	c := &Catalog{Stars: stars, byHead: make(map[graph.V][]int)}
-	for i, ms := range stars {
+	c := &Catalog{}
+	c.Rebuild(stars)
+	return c
+}
+
+// Rebuild re-indexes the catalog over a new star list, reusing the
+// catalog's backing tables. Per-head spider lists come out in ascending
+// spider-index order, exactly as the map-era appends produced them.
+func (c *Catalog) Rebuild(stars []*MinedStar) {
+	c.Stars = stars
+	maxV := -1
+	total := 0
+	for _, ms := range stars {
+		total += len(ms.Hosts)
 		for _, v := range ms.Hosts {
-			c.byHead[v] = append(c.byHead[v], i)
+			if int(v) > maxV {
+				maxV = int(v)
+			}
 		}
 	}
-	return c
+	n := maxV + 1
+	c.nV = n
+	c.headOff = growI32(c.headOff, n+1)
+	for i := range c.headOff {
+		c.headOff[i] = 0
+	}
+	for _, ms := range stars {
+		for _, v := range ms.Hosts {
+			c.headOff[v+1]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		c.headOff[v+1] += c.headOff[v]
+	}
+	c.headIdx = growI32(c.headIdx, total)
+	c.cursor = growI32(c.cursor, n)
+	copy(c.cursor, c.headOff[:n])
+	for i, ms := range stars {
+		for _, v := range ms.Hosts {
+			c.headIdx[c.cursor[v]] = int32(i)
+			c.cursor[v]++
+		}
+	}
 }
 
 // Len returns the number of distinct frequent spiders |S_all|.
 func (c *Catalog) Len() int { return len(c.Stars) }
 
 // AtHead returns the indices of spiders hostable at head vertex v
-// (the paper's Spider(v)).
-func (c *Catalog) AtHead(v graph.V) []int { return c.byHead[v] }
+// (the paper's Spider(v)), ascending. The slice aliases the catalog's
+// index table; callers must not modify it.
+func (c *Catalog) AtHead(v graph.V) []int32 {
+	if v < 0 || int(v) >= c.nV {
+		return nil
+	}
+	return c.headIdx[c.headOff[v]:c.headOff[v+1]]
+}
 
 // MaximalAtHead returns the index of the spider with the most leaves
 // hostable at v (ties broken by key order), or -1.
 func (c *Catalog) MaximalAtHead(v graph.V) int {
 	best := -1
-	for _, i := range c.byHead[v] {
+	for _, i := range c.AtHead(v) {
 		if best < 0 || len(c.Stars[i].Star.Leaves) > len(c.Stars[best].Star.Leaves) {
-			best = i
+			best = int(i)
 		}
 	}
 	return best

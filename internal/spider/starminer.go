@@ -1,0 +1,382 @@
+package spider
+
+import (
+	"context"
+	"slices"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// StarMiner is the reusable Stage I engine: it mines the frequent stars of
+// a host graph level-wise, owning every table the enumeration needs as
+// flat, label-sorted scratch grown once and reused across runs. The zero
+// value is ready to use.
+//
+// Ownership contract: the []*MinedStar returned by Mine — the stars, their
+// Hosts and Leaves slices — is carved out of the StarMiner's arenas and is
+// INVALIDATED by the next Mine call on the same StarMiner. The package
+// function MineStarsContext uses a throwaway StarMiner, so its output is
+// caller-owned forever; the spidermine Miner holds a StarMiner across runs
+// and rebuilds its catalog from each run's output before the next.
+//
+// Internals, replacing the historical map-based level tables:
+//
+//   - nbrOff/nbrFlat: CSR-shaped per-vertex sorted neighbor-label table
+//     (was [][]graph.Label of per-chunk carved slices);
+//   - level 1: flat (head, leaf, host) triples built per chunk,
+//     concatenated in chunk order and sorted by the total order
+//     (head, leaf, host) — the exact frontier the map+sort path built;
+//   - expansion: per-worker starScratch (candidate/host buffers plus the
+//     output arenas), with per-item output spans concatenated in frontier
+//     order, so results stay bit-identical for any worker count.
+type StarMiner struct {
+	nbrFlat []graph.Label
+	nbrOff  []int32
+
+	triples      []pairTriple
+	chunkTriples [][]pairTriple
+
+	all, frontier, next []*MinedStar
+	spans               []expandSpan
+	chunks              [][2]int
+	ws                  par.Workspace[starScratch]
+
+	// Per-call state for the persistent par.Do bodies below. A closure
+	// passed to par.Do escapes (it may run on spawned goroutines), so an
+	// inline literal heap-allocates on every call; these capture only sm
+	// and read their per-call inputs from here, allocating once per
+	// StarMiner instead of once per run/level.
+	curG        *graph.Graph
+	curSigma    int
+	curFrontier []*MinedStar
+	curScrs     []*starScratch
+	csrFn       func(worker, item int)
+	l1Fn        func(worker, item int)
+	expFn       func(worker, item int)
+}
+
+// pairTriple is one level-1 observation: head vertex v (labeled head) has
+// at least one neighbor labeled leaf.
+type pairTriple struct {
+	head, leaf graph.Label
+	v          graph.V
+}
+
+func cmpTriple(a, b pairTriple) int {
+	if a.head != b.head {
+		return int(a.head) - int(b.head)
+	}
+	if a.leaf != b.leaf {
+		return int(a.leaf) - int(b.leaf)
+	}
+	return int(a.v) - int(b.v)
+}
+
+// expandSpan records which worker's output buffer holds one frontier
+// item's extensions, for the ordered concatenation after the join.
+type expandSpan struct {
+	w, lo, hi int32
+}
+
+// starScratch is one worker's expansion state: transient candidate/host
+// buffers plus the arenas that back the retained output (hosts, leaf
+// multisets, MinedStar structs). Worker i owns scratch i for the duration
+// of a level; arenas reset only between runs, never between levels, so
+// every star of a run stays valid until the next Mine.
+type starScratch struct {
+	cands []graph.Label
+	hosts []graph.V
+	out   []*MinedStar
+
+	hostArena arena[graph.V]
+	leafArena arena[graph.Label]
+	stars     arena[MinedStar]
+}
+
+func (s *starScratch) resetRun() {
+	s.hostArena.reset()
+	s.leafArena.reset()
+	s.stars.reset()
+}
+
+// arena is a grow-once block allocator for run-scoped output: alloc carves
+// capacity-capped slices from the current block (so append on a carved
+// slice can never alias its neighbor), and reset recycles the arena for
+// the next run, upsizing the block to the previous run's total demand so
+// warm runs carve everything from one allocation.
+type arena[T any] struct {
+	cur  []T
+	used int
+}
+
+func (a *arena[T]) alloc(n int) []T {
+	a.used += n
+	if len(a.cur)+n > cap(a.cur) {
+		sz := 2 * cap(a.cur)
+		if sz < 1024 {
+			sz = 1024
+		}
+		for sz < n {
+			sz <<= 1
+		}
+		a.cur = make([]T, 0, sz)
+	}
+	lo := len(a.cur)
+	a.cur = a.cur[:lo+n]
+	return a.cur[lo : lo+n : lo+n]
+}
+
+func (a *arena[T]) reset() {
+	if a.used > cap(a.cur) {
+		sz := 1024
+		for sz < a.used {
+			sz <<= 1
+		}
+		a.cur = make([]T, 0, sz)
+	}
+	a.cur = a.cur[:0]
+	a.used = 0
+}
+
+func growI32(b []int32, n int) []int32 {
+	if cap(b) < n {
+		return make([]int32, n)
+	}
+	return b[:n]
+}
+
+func (sm *StarMiner) nbrLabels(v graph.V) []graph.Label {
+	return sm.nbrFlat[sm.nbrOff[v]:sm.nbrOff[v+1]]
+}
+
+// countLabel counts occurrences of l among v's neighbor labels.
+func (sm *StarMiner) countLabel(v graph.V, l graph.Label) int {
+	ls := sm.nbrLabels(v)
+	lo, _ := slices.BinarySearch(ls, l)
+	hi := lo
+	for hi < len(ls) && ls[hi] == l {
+		hi++
+	}
+	return hi - lo
+}
+
+// Mine enumerates all frequent stars of g level-wise; see MineStarsContext
+// for the level-commit cancellation contract and the package comment for
+// the output-ownership contract.
+func (sm *StarMiner) Mine(ctx context.Context, g *graph.Graph, opt Options) ([]*MinedStar, error) {
+	sigma := opt.MinSupport
+	if sigma < 1 {
+		sigma = 1
+	}
+	maxLeaves := opt.MaxLeaves
+	if maxLeaves <= 0 {
+		maxLeaves = g.MaxDegree()
+	}
+	for _, s := range sm.ws.All() {
+		s.resetRun()
+	}
+
+	// Per-vertex sorted neighbor-label table, CSR-shaped. Chunks partition
+	// the vertex range contiguously, so workers write disjoint segments.
+	n := g.N()
+	sm.nbrOff = growI32(sm.nbrOff, n+1)
+	total := 0
+	for v := 0; v < n; v++ {
+		sm.nbrOff[v] = int32(total)
+		total += g.Degree(graph.V(v))
+	}
+	sm.nbrOff[n] = int32(total)
+	if cap(sm.nbrFlat) < total {
+		sm.nbrFlat = make([]graph.Label, total)
+	}
+	sm.nbrFlat = sm.nbrFlat[:total]
+	sm.chunks = par.AppendChunks(sm.chunks[:0], n, opt.Workers)
+	chunks := sm.chunks
+	sm.curG = g
+	if sm.csrFn == nil {
+		sm.csrFn = func(_, ci int) {
+			g, c := sm.curG, sm.chunks[ci]
+			for v := c[0]; v < c[1]; v++ {
+				seg := sm.nbrFlat[sm.nbrOff[v]:sm.nbrOff[v+1]]
+				for i, w := range g.Neighbors(graph.V(v)) {
+					seg[i] = g.Label(w)
+				}
+				slices.Sort(seg)
+			}
+		}
+	}
+	if err := par.Do(ctx, len(chunks), len(chunks), sm.csrFn); err != nil {
+		return nil, err
+	}
+
+	// Level 1: flat (head, leaf, host) triples per chunk, concatenated in
+	// chunk order, then sorted by the total order — same frontier as the
+	// historical per-chunk hash tables merged and sorted, without the maps.
+	for len(sm.chunkTriples) < len(chunks) {
+		sm.chunkTriples = append(sm.chunkTriples, nil)
+	}
+	if sm.l1Fn == nil {
+		sm.l1Fn = func(_, ci int) {
+			g, c := sm.curG, sm.chunks[ci]
+			buf := sm.chunkTriples[ci][:0]
+			for v := c[0]; v < c[1]; v++ {
+				hl := g.Label(graph.V(v))
+				var prev graph.Label = -1
+				for _, l := range sm.nbrLabels(graph.V(v)) {
+					if l == prev {
+						continue
+					}
+					prev = l
+					buf = append(buf, pairTriple{head: hl, leaf: l, v: graph.V(v)})
+				}
+			}
+			sm.chunkTriples[ci] = buf
+		}
+	}
+	if err := par.Do(ctx, len(chunks), len(chunks), sm.l1Fn); err != nil {
+		return nil, err
+	}
+	triples := sm.triples[:0]
+	for ci := range chunks {
+		triples = append(triples, sm.chunkTriples[ci]...)
+	}
+	slices.SortFunc(triples, cmpTriple)
+	sm.triples = triples
+
+	// Frequent single-leaf stars: one group per (head, leaf) run; hosts
+	// come out ascending because triples are sorted.
+	s0 := sm.ws.For(1)[0]
+	frontier := sm.frontier[:0]
+	for i := 0; i < len(triples); {
+		j := i + 1
+		for j < len(triples) && triples[j].head == triples[i].head && triples[j].leaf == triples[i].leaf {
+			j++
+		}
+		if j-i >= sigma {
+			hosts := s0.hostArena.alloc(j - i)
+			for k := i; k < j; k++ {
+				hosts[k-i] = triples[k].v
+			}
+			leaves := s0.leafArena.alloc(1)
+			leaves[0] = triples[i].leaf
+			ms := &s0.stars.alloc(1)[0]
+			*ms = MinedStar{Star: Star{Head: triples[i].head, Leaves: leaves}, Hosts: hosts}
+			frontier = append(frontier, ms)
+		}
+		i = j
+	}
+	sm.frontier = frontier
+
+	all := append(sm.all[:0], frontier...)
+	cur, spare := frontier, sm.next
+	for level := 1; level < maxLeaves && len(cur) > 0; level++ {
+		if opt.MaxSpiders > 0 && len(all) >= opt.MaxSpiders {
+			break
+		}
+		next, err := sm.expandLevel(ctx, g, cur, sigma, opt.Workers, spare[:0])
+		if err != nil {
+			// Return only fully committed levels: the partial catalog is
+			// then a deterministic function of how many levels completed.
+			sm.all = all
+			return all, err
+		}
+		// Canonical generation (extend only with labels >= last) guarantees
+		// uniqueness already; sort for determinism.
+		sortMined(next)
+		all = append(all, next...)
+		cur, spare = next, cur
+	}
+	sm.frontier, sm.next = cur, spare
+	if opt.MaxSpiders > 0 && len(all) > opt.MaxSpiders {
+		all = all[:opt.MaxSpiders]
+	}
+	sm.all = all
+	return all, nil
+}
+
+// expandLevel extends every frontier star by one leaf, sharded across
+// workers. Per-item outputs land in per-worker append buffers with spans
+// recorded per item; concatenating spans in frontier order reproduces the
+// sequential output for any worker count.
+func (sm *StarMiner) expandLevel(ctx context.Context, g *graph.Graph, frontier []*MinedStar, sigma, workers int, dst []*MinedStar) ([]*MinedStar, error) {
+	wk := par.Bound(len(frontier), workers)
+	scrs := sm.ws.For(wk)
+	for _, s := range scrs {
+		s.out = s.out[:0]
+	}
+	if cap(sm.spans) < len(frontier) {
+		sm.spans = make([]expandSpan, len(frontier))
+	}
+	spans := sm.spans[:len(frontier)]
+	sm.curG, sm.curSigma, sm.curFrontier, sm.curScrs = g, sigma, frontier, scrs
+	if sm.expFn == nil {
+		sm.expFn = func(w, i int) {
+			s := sm.curScrs[w]
+			lo := len(s.out)
+			sm.expand(sm.curG, sm.curFrontier[i], sm.curSigma, s)
+			sm.spans[i] = expandSpan{w: int32(w), lo: int32(lo), hi: int32(len(s.out))}
+		}
+	}
+	err := par.Do(ctx, len(frontier), wk, sm.expFn)
+	sm.curFrontier, sm.curScrs = nil, nil
+	if err != nil {
+		return nil, err
+	}
+	for _, sp := range spans {
+		dst = append(dst, scrs[sp.w].out[sp.lo:sp.hi]...)
+	}
+	return dst, nil
+}
+
+// expand appends to s.out every frequent one-leaf extension of ms whose
+// new leaf label is >= the star's last leaf (canonical generation order).
+func (sm *StarMiner) expand(g *graph.Graph, ms *MinedStar, sigma int, s *starScratch) {
+	leaves := ms.Star.Leaves
+	last := leaves[len(leaves)-1]
+	// Candidate extension labels: any label >= last present among hosts'
+	// neighbors, deduplicated by sort+compact.
+	cands := s.cands[:0]
+	for _, v := range ms.Hosts {
+		ls := sm.nbrLabels(v)
+		lo, _ := slices.BinarySearch(ls, last)
+		var prev graph.Label = -1
+		for _, l := range ls[lo:] {
+			if l != prev {
+				cands = append(cands, l)
+				prev = l
+			}
+		}
+	}
+	slices.Sort(cands)
+	cands = slices.Compact(cands)
+	s.cands = cands
+
+	for _, l := range cands {
+		need := 1
+		for _, x := range leaves {
+			if x == l {
+				need++
+			}
+		}
+		hosts := s.hosts[:0]
+		for _, v := range ms.Hosts {
+			if sm.countLabel(v, l) >= need {
+				hosts = append(hosts, v)
+			}
+		}
+		s.hosts = hosts
+		if len(hosts) < sigma {
+			continue
+		}
+		hcopy := s.hostArena.alloc(len(hosts))
+		copy(hcopy, hosts)
+		lcopy := s.leafArena.alloc(len(leaves) + 1)
+		copy(lcopy, leaves)
+		lcopy[len(lcopy)-1] = l
+		slices.Sort(lcopy)
+		nms := &s.stars.alloc(1)[0]
+		*nms = MinedStar{Star: Star{Head: ms.Star.Head, Leaves: lcopy}, Hosts: hcopy}
+		s.out = append(s.out, nms)
+	}
+}

@@ -1,0 +1,61 @@
+package spidermine
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// TestGrowScratchWarmNoAlloc pins scratch reuse in the grow engine: a warm
+// growScratch evaluating an extension that fails (here on support) must
+// not allocate. The availability tables, greedy counts, survivor
+// ping-pong buffers, and the pooled Builder are all epoch-marked or
+// length-reset, so any allocation means one of them regressed to per-call
+// churn.
+func TestGrowScratchWarmNoAlloc(t *testing.T) {
+	g := growHost()
+	m := minerFor(g, Config{MinSupport: 3, Dmax: 6}) // σ=3 but only 2 sites: extendAt fails after full evaluation
+	pg := graph.FromEdges([]graph.Label{9, 1}, []graph.Edge{{U: 0, W: 1}})
+	p := pattern.New(pg, []pattern.Embedding{{0, 1}, {5, 6}})
+	p.Origin = 0
+	sc := m.growWS.For(1)[0]
+	if m.extendAt(p, 0, sc) { // warm every buffer first
+		t.Fatal("extension above support threshold")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if m.extendAt(p, 0, sc) {
+			t.Fatal("extension above support threshold")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm failing extendAt allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestGrowScratchWarmGrowPattern: a full warm growPattern pass on a
+// pattern whose every boundary extension fails must also be
+// allocation-free (boundary buffer + per-vertex scratch reuse).
+func TestGrowScratchWarmGrowPattern(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool randomly drops items under -race; the pooled BFS boundary scratch then reallocates")
+	}
+	g := growHost()
+	m := minerFor(g, Config{MinSupport: 3, Dmax: 6})
+	pg := graph.FromEdges([]graph.Label{9, 1}, []graph.Edge{{U: 0, W: 1}})
+	p := pattern.New(pg, []pattern.Embedding{{0, 1}, {5, 6}})
+	p.Origin = 0
+	w := &grown{p: p, radius: 1}
+	sc := m.growWS.For(1)[0]
+	if m.growPattern(w, sc) {
+		t.Fatal("growth above support threshold")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if m.growPattern(w, sc) {
+			t.Fatal("growth above support threshold")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm failing growPattern allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -1,6 +1,7 @@
 package spidermine
 
 import (
+	"slices"
 	"testing"
 
 	"repro/internal/graph"
@@ -31,14 +32,21 @@ func growHost() *graph.Graph {
 func minerFor(g *graph.Graph, cfg Config) *Miner {
 	m := New(g, cfg)
 	m.cfg = m.cfg.withDefaults(g)
-	// Populate the frequent-pair table the way Run does.
-	m.freqPair = map[[2]graph.Label]bool{}
+	// Populate the frequent-pair index the way Run does.
+	m.freqPairs = m.freqPairs[:0]
 	for _, e := range g.Edges() {
 		la, lb := g.Label(e.U), g.Label(e.W)
-		m.freqPair[[2]graph.Label{la, lb}] = true
-		m.freqPair[[2]graph.Label{lb, la}] = true
+		m.freqPairs = append(m.freqPairs, labelPair{h: la, l: lb}, labelPair{h: lb, l: la})
 	}
+	slices.SortFunc(m.freqPairs, cmpLabelPair)
+	m.freqPairs = slices.Compact(m.freqPairs)
 	return m
+}
+
+// dropFreqPair removes one (head, leaf) entry from the flat index, the
+// test equivalent of the historical map delete.
+func dropFreqPair(m *Miner, h, l graph.Label) {
+	m.freqPairs = slices.DeleteFunc(m.freqPairs, func(p labelPair) bool { return p.h == h && p.l == l })
 }
 
 func TestExtendAtAddsMaximalLeafSet(t *testing.T) {
@@ -84,8 +92,8 @@ func TestExtendAtRespectsDiameterBound(t *testing.T) {
 func TestExtendAtNoFrequentPair(t *testing.T) {
 	g := growHost()
 	m := minerFor(g, Config{MinSupport: 2, Dmax: 6})
-	// Remove 9-2 from the frequent-pair table: leaf 2 may not be used.
-	delete(m.freqPair, [2]graph.Label{9, 2})
+	// Remove 9-2 from the frequent-pair index: leaf 2 may not be used.
+	dropFreqPair(m, 9, 2)
 	pg := graph.FromEdges([]graph.Label{9, 1}, []graph.Edge{{U: 0, W: 1}})
 	p := pattern.New(pg, []pattern.Embedding{{0, 1}, {5, 6}})
 	p.Origin = 0

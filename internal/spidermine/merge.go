@@ -1,7 +1,7 @@
 package spidermine
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/canon"
 	"repro/internal/graph"
@@ -38,7 +38,7 @@ func (m *Miner) checkMerges(ws []*grown) ([]*grown, error) {
 		m.mergeUsage = make([][]usageSlot, m.g.N())
 	}
 	usage := m.mergeUsage
-	touched := make([]graph.V, 0, len(ws)*8)
+	touched := m.touched[:0]
 	for wi, w := range ws {
 		embs := w.p.Emb
 		if len(embs) > mergeScanEmb {
@@ -53,9 +53,20 @@ func (m *Miner) checkMerges(ws []*grown) ([]*grown, error) {
 			}
 		}
 	}
-	// Collect overlapping (pattern, pattern) pairs with their embedding
-	// pairs, deduplicated.
-	pairs := make(map[pairKey]map[embPair]struct{})
+	m.touched = touched
+	// Collect overlapping (pattern pair, embedding pair) candidates into
+	// the flat reused list, deduplicated, with MergePairCap applied per
+	// pattern pair in discovery order — exactly the set the historical
+	// map-of-maps kept (first cap distinct embedding pairs per pattern
+	// pair, in the order the usage scan surfaces them).
+	if m.candSeen == nil {
+		m.candSeen = make(map[mergeCand]struct{})
+		m.pairCount = make(map[pairKey]int)
+	} else {
+		clear(m.candSeen)
+		clear(m.pairCount)
+	}
+	cands := m.mergeCands[:0]
 	for _, hv := range touched {
 		slots := usage[hv]
 		usage[hv] = usage[hv][:0]
@@ -68,37 +79,56 @@ func (m *Miner) checkMerges(ws []*grown) ([]*grown, error) {
 				if a.w == b.w {
 					continue
 				}
-				pk := pairKey{a.w, b.w}
-				ep := embPair{a.emb, b.emb}
 				if a.w > b.w {
-					pk = pairKey{b.w, a.w}
-					ep = embPair{b.emb, a.emb}
+					a, b = b, a
 				}
-				if pairs[pk] == nil {
-					pairs[pk] = make(map[embPair]struct{})
+				c := mergeCand{a: int32(a.w), b: int32(b.w), ea: int32(a.emb), eb: int32(b.emb)}
+				if _, dup := m.candSeen[c]; dup {
+					continue
 				}
-				if len(pairs[pk]) < m.cfg.MergePairCap {
-					pairs[pk][ep] = struct{}{}
+				pk := pairKey{a.w, b.w}
+				if m.pairCount[pk] >= m.cfg.MergePairCap {
+					continue
 				}
+				m.candSeen[c] = struct{}{}
+				m.pairCount[pk]++
+				cands = append(cands, c)
 			}
 		}
 	}
-	if len(pairs) == 0 {
+	if len(cands) == 0 {
+		m.mergeCands = cands
 		return ws, nil
 	}
-	// Deterministic pair order.
-	keys := make([]pairKey, 0, len(pairs))
-	for pk := range pairs {
-		keys = append(keys, pk)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].a != keys[j].a {
-			return keys[i].a < keys[j].a
+	// Deterministic evaluation order: sort the flat list by
+	// (a, b, ea, eb) and cut it into per-pattern-pair groups — the same
+	// order the historical sorted-keys + per-key sorted-pairs walk
+	// produced.
+	slices.SortFunc(cands, func(x, y mergeCand) int {
+		if x.a != y.a {
+			return int(x.a) - int(y.a)
 		}
-		return keys[i].b < keys[j].b
+		if x.b != y.b {
+			return int(x.b) - int(y.b)
+		}
+		if x.ea != y.ea {
+			return int(x.ea) - int(y.ea)
+		}
+		return int(x.eb) - int(y.eb)
 	})
+	m.mergeCands = cands
+	groups := m.pairGroups[:0]
+	for i := 0; i < len(cands); {
+		j := i + 1
+		for j < len(cands) && cands[j].a == cands[i].a && cands[j].b == cands[i].b {
+			j++
+		}
+		groups = append(groups, pairGroup{pk: pairKey{int(cands[i].a), int(cands[i].b)}, lo: int32(i), hi: int32(j)})
+		i = j
+	}
+	m.pairGroups = groups
 
-	consumed := make([]bool, len(ws))
+	consumed := m.consumed.For(len(ws))
 	var merged []*grown
 	// apply is the ordered reduction step shared by the sequential and
 	// parallel paths: accept a merge, number it, and retire its parents.
@@ -113,23 +143,24 @@ func (m *Miner) checkMerges(ws []*grown) ([]*grown, error) {
 		}
 		merged = append(merged, &grown{p: mp, radius: radius})
 	}
-	if workers := m.workerCount(len(keys)); workers > 1 {
-		if err := m.mergeParallel(ws, keys, pairs, workers, consumed, apply); err != nil {
+	if workers := m.workerCount(len(groups)); workers > 1 {
+		if err := m.mergeParallel(ws, groups, workers, consumed, apply); err != nil {
 			return ws, err
 		}
 	} else {
-		for _, pk := range keys {
+		sc := m.mergeWS.For(1)[0]
+		for _, gp := range groups {
 			if m.done != nil {
 				if err := m.cancelled(); err != nil {
 					return ws, err
 				}
 			}
-			if consumed[pk.a] || consumed[pk.b] {
+			if consumed[gp.pk.a] || consumed[gp.pk.b] {
 				continue
 			}
-			mp := m.tryMerge(ws[pk.a].p, ws[pk.b].p, pairs[pk], &m.stats.IsoRun)
+			mp := m.tryMerge(ws[gp.pk.a].p, ws[gp.pk.b].p, cands[gp.lo:gp.hi], sc, &m.stats.IsoRun)
 			if mp != nil {
-				apply(pk, mp)
+				apply(gp.pk, mp)
 			}
 		}
 	}
@@ -156,59 +187,85 @@ type usageSlot struct {
 // indices into ws) during a merge round.
 type pairKey struct{ a, b int }
 
-// embPair indexes one embedding of each of two patterns being merged.
-type embPair struct{ ea, eb int }
+// mergeCand is one merge candidate: patterns ws[a], ws[b] (a < b) overlap
+// on embeddings Emb[ea], Emb[eb]. The flat sorted candidate list replaces
+// the historical map[pairKey]map[embPair]struct{}.
+type mergeCand struct{ a, b, ea, eb int32 }
 
-// tryMerge builds union subgraphs for each overlapping embedding pair,
-// buckets them by structure, and if the largest structure class is
-// frequent, returns it as the merged pattern (ID unassigned — the caller's
-// ordered reduction numbers accepted merges). Returns nil if no frequent
-// merged structure exists.
+// pairGroup is one pattern pair's contiguous run of candidates in the
+// sorted mergeCands list.
+type pairGroup struct {
+	pk     pairKey
+	lo, hi int32
+}
+
+// mbucket is one structure class of union subgraphs during tryMerge:
+// representative graph, its iso-consistent embeddings, and the 128-bit
+// image-hash dedupe set. Buckets are pooled per worker in mergeScratch;
+// the winner's embs list is copied out, so the backing arrays recycle.
+type mbucket struct {
+	inv  uint64
+	repr *graph.Graph
+	embs []pattern.Embedding
+	seen map[[2]uint64]struct{}
+}
+
+// mergeScratch is one worker's tryMerge state: mapped-edge and union
+// buffers, the union-hash dedupe set, the pooled subgraph builder and
+// vertex scratch, the bucket pool, and the WL/isomorphism scratch. Owned
+// by exactly one worker for the duration of a merge wave.
+type mergeScratch struct {
+	bufA, bufB []graph.Edge
+	unionBuf   []graph.Edge
+	imgBuf     []graph.Edge
+	seenUnions map[[2]uint64]struct{}
+	vertsBuf   []graph.V
+	b          graph.Builder
+	buckets    []*mbucket
+	iso        canon.Iso
+}
+
+// tryMerge builds union subgraphs for each candidate embedding pair (the
+// caller's presorted slice), buckets them by structure, and if the largest
+// structure class is frequent, returns it as the merged pattern (ID
+// unassigned — the caller's ordered reduction numbers accepted merges).
+// Returns nil if no frequent merged structure exists.
 //
-// tryMerge is read-only on pa, pb, and the Miner, so merge rounds may
-// evaluate many pairs concurrently; isoRun is the caller-owned (per-worker
-// when parallel) isomorphism-test counter.
-func (m *Miner) tryMerge(pa, pb *pattern.Pattern, embPairs map[embPair]struct{}, isoRun *int64) *pattern.Pattern {
-	type bucket struct {
-		repr *graph.Graph // representative pattern graph
-		embs []pattern.Embedding
-		seen map[string]struct{} // image keys, dedupe
+// tryMerge is read-only on pa, pb, and the Miner, and confines its
+// mutable state to sc, so merge rounds may evaluate many pairs
+// concurrently; isoRun is the caller-owned (per-worker when parallel)
+// isomorphism-test counter.
+func (m *Miner) tryMerge(pa, pb *pattern.Pattern, eps []mergeCand, sc *mergeScratch, isoRun *int64) *pattern.Pattern {
+	if sc.seenUnions == nil {
+		sc.seenUnions = make(map[[2]uint64]struct{})
+	} else {
+		clear(sc.seenUnions)
 	}
-	buckets := make(map[uint64][]*bucket)
+	// used counts live buckets this call; entries beyond it are pool
+	// leftovers from earlier calls.
+	used := 0
 
-	var bufA, bufB []graph.Edge
-	// Distinct embedding pairs routinely produce the same union edge set;
-	// the subgraph build, diameter check and isomorphism bucketing are all
-	// no-ops for a repeat (the image key dedupes it anyway), so skip them
-	// wholesale on a 128-bit hash of the sorted union (see canon.HashEdges
-	// for the collision trade-off).
-	seenUnions := make(map[[2]uint64]struct{})
-
-	// Deterministic order over embedding pairs.
-	ordered := make([]embPair, 0, len(embPairs))
-	for k := range embPairs {
-		ordered = append(ordered, k)
-	}
-	sort.Slice(ordered, func(i, j int) bool {
-		if ordered[i].ea != ordered[j].ea {
-			return ordered[i].ea < ordered[j].ea
-		}
-		return ordered[i].eb < ordered[j].eb
-	})
-
-	for _, pr := range ordered {
-		if pr.ea >= len(pa.Emb) || pr.eb >= len(pb.Emb) {
+	for _, pr := range eps {
+		ea, eb := int(pr.ea), int(pr.eb)
+		if ea >= len(pa.Emb) || eb >= len(pb.Emb) {
 			continue
 		}
-		bufA = canon.AppendMappedEdges(bufA[:0], pa.G, canon.Mapping(pa.Emb[pr.ea]))
-		bufB = canon.AppendMappedEdges(bufB[:0], pb.G, canon.Mapping(pb.Emb[pr.eb]))
-		union := graph.UnionEdges(bufA, bufB)
+		sc.bufA = canon.AppendMappedEdges(sc.bufA[:0], pa.G, canon.Mapping(pa.Emb[ea]))
+		sc.bufB = canon.AppendMappedEdges(sc.bufB[:0], pb.G, canon.Mapping(pb.Emb[eb]))
+		// Distinct embedding pairs routinely produce the same union edge
+		// set; the subgraph build, diameter check and isomorphism bucketing
+		// are all no-ops for a repeat (the image hash dedupes it anyway), so
+		// skip them wholesale on a 128-bit hash of the sorted union (see
+		// canon.HashEdges for the collision trade-off).
+		sc.unionBuf = graph.AppendUnionEdges(sc.unionBuf[:0], sc.bufA, sc.bufB)
+		union := sc.unionBuf
 		uh := canon.HashEdges(union)
-		if _, dup := seenUnions[uh]; dup {
+		if _, dup := sc.seenUnions[uh]; dup {
 			continue
 		}
-		seenUnions[uh] = struct{}{}
-		ug, verts := m.g.SubgraphOfEdges(union)
+		sc.seenUnions[uh] = struct{}{}
+		ug, verts := m.g.SubgraphOfEdgesInto(union, sc.vertsBuf, &sc.b)
+		sc.vertsBuf = verts
 		if !ug.IsConnected() {
 			continue
 		}
@@ -221,13 +278,16 @@ func (m *Miner) tryMerge(pa, pb *pattern.Pattern, embPairs map[embPair]struct{},
 		emb := make(pattern.Embedding, len(verts))
 		copy(emb, verts)
 
-		inv := canon.Invariant(ug)
+		inv := sc.iso.Invariant(ug)
 		placed := false
-		for _, bk := range buckets[inv] {
-			if bk.repr.N() != ug.N() || bk.repr.M() != ug.M() {
+		// Linear scan of the pooled buckets filtered by invariant — same
+		// visit order as the historical per-invariant append lists.
+		for bi := 0; bi < used; bi++ {
+			bk := sc.buckets[bi]
+			if bk.inv != inv || bk.repr.N() != ug.N() || bk.repr.M() != ug.M() {
 				continue
 			}
-			mapping := canon.IsomorphismMapping(ug, bk.repr)
+			mapping := sc.iso.MapInto(ug, bk.repr)
 			*isoRun++
 			if mapping == nil {
 				continue
@@ -238,29 +298,43 @@ func (m *Miner) tryMerge(pa, pb *pattern.Pattern, embPairs map[embPair]struct{},
 			for ugv, reprv := range mapping {
 				re[reprv] = emb[ugv]
 			}
-			key := re.ImageKey(bk.repr)
-			if _, dup := bk.seen[key]; !dup {
-				bk.seen[key] = struct{}{}
+			var h [2]uint64
+			h, sc.imgBuf = canon.ImageHash(sc.imgBuf, bk.repr, canon.Mapping(re))
+			if _, dup := bk.seen[h]; !dup {
+				bk.seen[h] = struct{}{}
 				bk.embs = append(bk.embs, re)
 			}
 			placed = true
 			break
 		}
 		if !placed {
-			bk := &bucket{repr: ug, seen: map[string]struct{}{}}
-			key := emb.ImageKey(ug)
-			bk.seen[key] = struct{}{}
+			var bk *mbucket
+			if used < len(sc.buckets) {
+				bk = sc.buckets[used]
+				bk.embs = bk.embs[:0]
+				clear(bk.seen)
+			} else {
+				bk = &mbucket{seen: make(map[[2]uint64]struct{})}
+				sc.buckets = append(sc.buckets, bk)
+			}
+			used++
+			bk.inv = inv
+			bk.repr = ug
+			var h [2]uint64
+			h, sc.imgBuf = canon.ImageHash(sc.imgBuf, ug, canon.Mapping(emb))
+			bk.seen[h] = struct{}{}
 			bk.embs = append(bk.embs, emb)
-			buckets[inv] = append(buckets[inv], bk)
 		}
 	}
 
 	// Choose the best frequent bucket: largest structure first, then most
 	// embeddings, then a canonical tie-break on the first embedding's
-	// image key (map iteration order must not leak into results).
-	var best *bucket
+	// image key (evaluation order must not leak into results; the exact
+	// ImageKey strings are kept here — the tie-break must order total, and
+	// it only runs on the rare frequent buckets).
+	var best *mbucket
 	bestKey := ""
-	firstKey := func(bk *bucket) string {
+	firstKey := func(bk *mbucket) string {
 		if len(bk.embs) == 0 {
 			return ""
 		}
@@ -272,29 +346,30 @@ func (m *Miner) tryMerge(pa, pb *pattern.Pattern, embPairs map[embPair]struct{},
 		}
 		return k
 	}
-	for _, bks := range buckets {
-		for _, bk := range bks {
-			if m.supFn(bk.repr, bk.embs) < m.cfg.MinSupport {
-				continue
-			}
-			switch {
-			case best == nil,
-				bk.repr.M() > best.repr.M(),
-				bk.repr.M() == best.repr.M() && len(bk.embs) > len(best.embs):
+	for _, bk := range sc.buckets[:used] {
+		if m.supFn(bk.repr, bk.embs) < m.cfg.MinSupport {
+			continue
+		}
+		switch {
+		case best == nil,
+			bk.repr.M() > best.repr.M(),
+			bk.repr.M() == best.repr.M() && len(bk.embs) > len(best.embs):
+			best = bk
+			bestKey = firstKey(bk)
+		case bk.repr.M() == best.repr.M() && len(bk.embs) == len(best.embs):
+			if k := firstKey(bk); k < bestKey {
 				best = bk
-				bestKey = firstKey(bk)
-			case bk.repr.M() == best.repr.M() && len(bk.embs) == len(best.embs):
-				if k := firstKey(bk); k < bestKey {
-					best = bk
-					bestKey = k
-				}
+				bestKey = k
 			}
 		}
 	}
 	if best == nil {
 		return nil
 	}
-	mp := pattern.New(best.repr, best.embs)
+	// The bucket's embedding list is pooled scratch — copy the winner out.
+	embs := make([]pattern.Embedding, len(best.embs))
+	copy(embs, best.embs)
+	mp := pattern.New(best.repr, embs)
 	mp.Merged = true
 	mp.Origin = -1 // merged patterns grow from their entire rim
 	return mp

@@ -1,26 +1,15 @@
-// Package spidermine implements the SpiderMine algorithm (Algorithm 1 of
-// the paper): probabilistic mining of the top-K largest frequent patterns
-// of a single massive network, with diameter bound Dmax and success
-// probability 1−ε.
-//
-// The three stages:
-//
-//	Stage I   — mine all frequent r-spiders (internal/spider).
-//	Stage II  — draw M random seed spiders (M from Lemma 2), grow each by
-//	            SpiderGrow for ⌈Dmax/2r⌉ iterations, merging patterns whose
-//	            embeddings start to overlap; prune everything unmerged.
-//	Stage III — grow survivors to maximality; return the K largest.
 package spidermine
 
 import (
 	"context"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/canon"
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/pattern"
 	"repro/internal/spider"
 	"repro/internal/support"
@@ -224,30 +213,101 @@ type Miner struct {
 	// support. The single-graph setting applies cfg.Measure; the
 	// transaction adapter counts distinct transaction graphs.
 	supFn func(*graph.Graph, []pattern.Embedding) int
-	// freqPair reports whether (head label, leaf label) is a frequent
-	// spider edge, the unit of growth.
-	freqPair map[[2]graph.Label]bool
-	catalog  *spider.Catalog
+	// freqPairs is the flat, sorted (head label, leaf label) index of
+	// frequent spider edges — the unit of growth. extendAt resolves the
+	// head's contiguous run once per boundary vertex, then binary-searches
+	// leaves within it. Rebuilt from the Stage I stars each run into the
+	// same backing array.
+	freqPairs []labelPair
+	// sm is the reusable Stage I engine; its output is scratch rebuilt into
+	// catalog each run (see spider.StarMiner's ownership contract).
+	sm      spider.StarMiner
+	catalog spider.Catalog
+	// sd owns the Stage II seed-draw scratch (permutation buffer,
+	// per-worker Materializers).
+	sd spider.Seeder
 	// trees holds the r-spider seed population when cfg.Radius >= 2.
 	trees []*spider.MinedTree
 	// mergeUsage is checkMerges' per-host-vertex overlap index, reused
 	// across rounds (truncated, never reallocated). Overlap detection runs
 	// sequentially; only pair evaluation is sharded.
 	mergeUsage [][]usageSlot
-	// growScr holds one extension scratch per worker, sized by
-	// ensureGrowScratch before each growth pass; worker i owns growScr[i]
-	// for the duration of the pass.
-	growScr []*growScratch
+	// Pooled checkMerges round state: candidate (pair, embedding-pair)
+	// entries, their dedupe set and per-pair cap counters, the touched
+	// host-vertex list, and the group table handed to the evaluators.
+	mergeCands []mergeCand
+	candSeen   map[mergeCand]struct{}
+	pairCount  map[pairKey]int
+	touched    []graph.V
+	pairGroups []pairGroup
+	consumed   par.Slots[bool]
+	// Per-worker scratch arenas: worker i owns slot i for the duration of
+	// one parallel pass (the par.Do ownership contract). Allocated
+	// per-worker-once, reused across iterations, runs, and restarts.
+	growWS    par.Workspace[growScratch]
+	mergeWS   par.Workspace[mergeScratch]
+	matcherWS par.Workspace[canon.Matcher]
+	anyFlag   par.Slots[bool]
+	isoRuns   par.Slots[int64]
+	results   par.Slots[*pattern.Pattern]
+	batch     []pairGroup
 }
+
+// labelPair is one frequent (head, leaf) spider-edge entry of the flat
+// frequent-pair index, ordered by (h, l).
+type labelPair struct{ h, l graph.Label }
+
+func cmpLabelPair(a, b labelPair) int {
+	if a.h != b.h {
+		return int(a.h) - int(b.h)
+	}
+	return int(a.l) - int(b.l)
+}
+
+// freqLeavesOf returns the contiguous run of frequent-pair entries whose
+// head is h (possibly empty). Callers binary-search leaves within it.
+func (m *Miner) freqLeavesOf(h graph.Label) []labelPair {
+	lo, _ := slices.BinarySearchFunc(m.freqPairs, labelPair{h: h, l: graph.Label(minInt32)}, cmpLabelPair)
+	hi := lo
+	for hi < len(m.freqPairs) && m.freqPairs[hi].h == h {
+		hi++
+	}
+	return m.freqPairs[lo:hi]
+}
+
+// hasLeaf reports whether leaf label l occurs in a head's run.
+func hasLeaf(run []labelPair, l graph.Label) bool {
+	_, ok := slices.BinarySearchFunc(run, labelPair{l: l}, func(a, b labelPair) int { return int(a.l) - int(b.l) })
+	return ok
+}
+
+const minInt32 = -1 << 31
 
 // New prepares a Miner for the host graph.
 func New(g *graph.Graph, cfg Config) *Miner {
+	m := &Miner{}
+	m.Reset(g, cfg)
+	return m
+}
+
+// Reset re-targets the Miner at a host graph and configuration, zeroing
+// all per-run state (stats, ID counter, rng, canonizer counters) while
+// keeping every scratch arena — the Stage I tables, per-worker grow/merge
+// scratch, seed-draw buffers — so repeated runs allocate per-structure
+// once, not per run. A Reset Miner produces byte-identical results to a
+// freshly New'd one (see TestMinerResetReuse).
+func (m *Miner) Reset(g *graph.Graph, cfg Config) {
 	cfg = cfg.withDefaults(g)
-	m := &Miner{
-		g:   g,
-		cfg: cfg,
-		rng: rand.New(rand.NewSource(cfg.Seed)),
-		cz:  canon.NewCanonizer(),
+	m.g = g
+	m.cfg = cfg
+	m.rng = rand.New(rand.NewSource(cfg.Seed))
+	m.stats = Stats{}
+	m.nextID = 0
+	m.trees = nil
+	if m.cz == nil {
+		m.cz = canon.NewCanonizer()
+	} else {
+		m.cz.Runs, m.cz.Nodes = 0, 0
 	}
 	if cfg.Measure == support.CountAll {
 		m.supFn = func(_ *graph.Graph, embs []pattern.Embedding) int { return len(embs) }
@@ -256,7 +316,8 @@ func New(g *graph.Graph, cfg Config) *Miner {
 			return support.Of(pg, embs, cfg.Measure)
 		}
 	}
-	return m
+	// Host-graph-sized tables shrink lazily: a larger host reallocates, a
+	// smaller one just truncates (checkMerges sizes mergeUsage itself).
 }
 
 // Mine runs the full three-stage algorithm and returns the top-K result.
@@ -326,7 +387,7 @@ func (m *Miner) RunContext(ctx context.Context) (*Result, error) {
 	// are additionally mined as the seed population — at exponentially
 	// higher Stage I cost, as Appendix C(3) documents.
 	t0 := time.Now()
-	stars, starErr := spider.MineStarsContext(ctx, m.g, spider.Options{
+	stars, starErr := m.sm.Mine(ctx, m.g, spider.Options{
 		MinSupport: m.cfg.MinSupport,
 		MaxLeaves:  m.cfg.MaxLeavesPerStar,
 		Radius:     1,
@@ -337,13 +398,16 @@ func (m *Miner) RunContext(ctx context.Context) (*Result, error) {
 		m.stats.StageI = time.Since(t0)
 		return &Result{Stats: m.stats}, starErr
 	}
-	m.catalog = spider.NewCatalog(stars)
-	m.freqPair = make(map[[2]graph.Label]bool)
+	m.catalog.Rebuild(stars)
+	// Flat frequent-pair index from the single-leaf stars; sorted so lookup
+	// order is independent of the star list's order.
+	m.freqPairs = m.freqPairs[:0]
 	for _, ms := range stars {
 		if len(ms.Star.Leaves) == 1 {
-			m.freqPair[[2]graph.Label{ms.Star.Head, ms.Star.Leaves[0]}] = true
+			m.freqPairs = append(m.freqPairs, labelPair{h: ms.Star.Head, l: ms.Star.Leaves[0]})
 		}
 	}
+	slices.SortFunc(m.freqPairs, cmpLabelPair)
 	m.stats.NumSpiders = len(stars)
 	if m.cfg.Radius >= 2 {
 		maxSpiders := m.cfg.MaxSpiders
@@ -517,7 +581,7 @@ func (m *Miner) newID() int {
 
 func fallbackLargest(ws []*grown, k int) []*grown {
 	sorted := append([]*grown(nil), ws...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].p.Size() > sorted[j].p.Size() })
+	slices.SortFunc(sorted, func(a, b *grown) int { return b.p.Size() - a.p.Size() })
 	if len(sorted) > k {
 		sorted = sorted[:k]
 	}
@@ -581,18 +645,17 @@ func (m *Miner) selectPatterns(ps []*pattern.Pattern, dedupe bool) []*pattern.Pa
 // sortBySize orders patterns the way results are reported: edge count
 // descending, then vertices, then embeddings, then stable by ID.
 func sortBySize(ps []*pattern.Pattern) {
-	sort.Slice(ps, func(i, j int) bool {
-		a, b := ps[i], ps[j]
+	slices.SortFunc(ps, func(a, b *pattern.Pattern) int {
 		if a.Size() != b.Size() {
-			return a.Size() > b.Size()
+			return b.Size() - a.Size()
 		}
 		if a.NV() != b.NV() {
-			return a.NV() > b.NV()
+			return b.NV() - a.NV()
 		}
 		if len(a.Emb) != len(b.Emb) {
-			return len(a.Emb) > len(b.Emb)
+			return len(b.Emb) - len(a.Emb)
 		}
-		return a.ID < b.ID
+		return a.ID - b.ID
 	})
 }
 

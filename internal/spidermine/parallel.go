@@ -10,11 +10,13 @@ import (
 // ROADMAP.md):
 //
 //   - shared-immutable: the host graph (its label index builds lazily
-//     behind a sync.Once), the frequent-pair table, the spider catalog,
+//     behind a sync.Once), the frequent-pair index, the spider catalog,
 //     and cfg — workers only read these;
-//   - per-worker scratch: one growScratch (ensureGrowScratch), one
-//     canon.Matcher / spider.Materializer where matching is needed, and
-//     worker-indexed accumulator slots — never shared, never locked;
+//   - per-worker scratch: one growScratch / mergeScratch / canon.Matcher
+//     slot from the Miner's par.Workspace arenas, plus worker-indexed
+//     accumulator slots (par.Slots) — never shared, never locked,
+//     allocated per-worker-once and reused across passes, runs, and
+//     restarts;
 //   - ordered reduction: results land in item-indexed slots (par.Map) and
 //     all cross-worker combination happens afterwards in item order, so
 //     output is bit-identical to the sequential engine for any worker
@@ -35,14 +37,14 @@ func (m *Miner) workerCount(items int) int {
 // worker-indexed and reduced after the join. A cancelled pass surfaces
 // ctx.Err(); the caller rolls back to its last committed snapshot.
 func (m *Miner) growAllParallel(ws []*grown, workers int) (bool, error) {
-	m.ensureGrowScratch(workers)
-	anyByWorker := make([]bool, workers)
+	scs := m.growWS.For(workers)
+	anyByWorker := m.anyFlag.For(workers)
 	if err := par.Do(m.ctx, len(ws), workers, func(wk, i int) {
 		w := ws[i]
 		if w.done {
 			return
 		}
-		if m.growPattern(w, m.growScr[wk]) {
+		if m.growPattern(w, scs[wk]) {
 			anyByWorker[wk] = true
 		} else {
 			w.done = true
@@ -58,53 +60,58 @@ func (m *Miner) growAllParallel(ws []*grown, workers int) (bool, error) {
 	return false, nil
 }
 
-// mergeParallel evaluates merge-candidate pairs with a worker pool in
-// bounded batched waves, reducing each wave in sorted key order via apply.
-// tryMerge is read-only on the working patterns, so the pairs of one wave
-// evaluate concurrently; speculation is bounded to the wave, because only
-// pairs whose endpoints are unconsumed when the wave is gathered enter it.
-// A wave member whose endpoint an earlier (in key order) wave-mate
-// consumed is discarded during the reduction — exactly the pairs the
-// sequential engine would have skipped — so the accepted merges, their
-// IDs, and their order are identical for any worker count. Only the
-// speculative-work counter (Stats.IsoRun) can exceed the sequential run's.
-// mergeParallel returns ctx.Err() if a wave is cancelled mid-evaluation;
-// waves already reduced stay applied, the cancelled wave is discarded, and
-// the caller's caller rolls back to its last committed snapshot.
-func (m *Miner) mergeParallel(ws []*grown, keys []pairKey, pairs map[pairKey]map[embPair]struct{}, workers int, consumed []bool, apply func(pairKey, *pattern.Pattern)) error {
+// mergeParallel evaluates merge-candidate pair groups with a worker pool
+// in bounded batched waves, reducing each wave in sorted key order via
+// apply. tryMerge is read-only on the working patterns and confines its
+// state to the worker's mergeScratch, so the groups of one wave evaluate
+// concurrently; speculation is bounded to the wave, because only groups
+// whose endpoints are unconsumed when the wave is gathered enter it. A
+// wave member whose endpoint an earlier (in key order) wave-mate consumed
+// is discarded during the reduction — exactly the groups the sequential
+// engine would have skipped — so the accepted merges, their IDs, and
+// their order are identical for any worker count. Only the
+// speculative-work counter (Stats.IsoRun) can exceed the sequential
+// run's. mergeParallel returns ctx.Err() if a wave is cancelled
+// mid-evaluation; waves already reduced stay applied, the cancelled wave
+// is discarded, and the caller's caller rolls back to its last committed
+// snapshot.
+func (m *Miner) mergeParallel(ws []*grown, groups []pairGroup, workers int, consumed []bool, apply func(pairKey, *pattern.Pattern)) error {
 	batchCap := workers
-	isoRuns := make([]int64, workers)
-	batch := make([]pairKey, 0, batchCap)
-	results := make([]*pattern.Pattern, batchCap)
+	scs := m.mergeWS.For(workers)
+	isoRuns := m.isoRuns.For(workers)
+	results := m.results.For(batchCap)
+	batch := m.batch[:0]
 	pos := 0
-	for pos < len(keys) {
+	for pos < len(groups) {
 		batch = batch[:0]
-		for pos < len(keys) && len(batch) < batchCap {
-			pk := keys[pos]
+		for pos < len(groups) && len(batch) < batchCap {
+			gp := groups[pos]
 			pos++
-			if consumed[pk.a] || consumed[pk.b] {
+			if consumed[gp.pk.a] || consumed[gp.pk.b] {
 				continue
 			}
-			batch = append(batch, pk)
+			batch = append(batch, gp)
 		}
 		if err := par.Do(m.ctx, len(batch), workers, func(wk, i int) {
-			pk := batch[i]
-			results[i] = m.tryMerge(ws[pk.a].p, ws[pk.b].p, pairs[pk], &isoRuns[wk])
+			gp := batch[i]
+			results[i] = m.tryMerge(ws[gp.pk.a].p, ws[gp.pk.b].p, m.mergeCands[gp.lo:gp.hi], scs[wk], &isoRuns[wk])
 		}); err != nil {
+			m.batch = batch
 			for _, n := range isoRuns {
 				m.stats.IsoRun += n
 			}
 			return err
 		}
-		for i, pk := range batch {
-			if consumed[pk.a] || consumed[pk.b] {
+		for i, gp := range batch {
+			if consumed[gp.pk.a] || consumed[gp.pk.b] {
 				continue
 			}
 			if mp := results[i]; mp != nil {
-				apply(pk, mp)
+				apply(gp.pk, mp)
 			}
 		}
 	}
+	m.batch = batch
 	for _, n := range isoRuns {
 		m.stats.IsoRun += n
 	}

@@ -1,10 +1,10 @@
 package spidermine
 
 import (
+	"slices"
 	"testing"
 
 	"repro/internal/gen"
-	"repro/internal/graph"
 	"repro/internal/spider"
 )
 
@@ -16,16 +16,17 @@ func TestPipelineStages(t *testing.T) {
 	m.cfg = m.cfg.withDefaults(g)
 	stars := spider.MineStars(g, spider.Options{MinSupport: 2})
 	t.Logf("stars: %d", len(stars))
-	m.catalog = spider.NewCatalog(stars)
-	m.freqPair = make(map[[2]graph.Label]bool)
+	m.catalog.Rebuild(stars)
+	m.freqPairs = m.freqPairs[:0]
 	for _, ms := range stars {
 		if len(ms.Star.Leaves) == 1 {
-			m.freqPair[[2]graph.Label{ms.Star.Head, ms.Star.Leaves[0]}] = true
+			m.freqPairs = append(m.freqPairs, labelPair{h: ms.Star.Head, l: ms.Star.Leaves[0]})
 		}
 	}
+	slices.SortFunc(m.freqPairs, cmpLabelPair)
 	M := spider.ComputeM(g.N(), g.N()/10, 10, 0.1)
 	t.Logf("M=%d", M)
-	seeds := spider.RandomSeed(g, m.catalog, M, 8, m.rng, 0)
+	seeds := spider.RandomSeed(g, &m.catalog, M, 8, m.rng, 0)
 	t.Logf("seeds=%d", len(seeds))
 	working := make([]*grown, 0, len(seeds))
 	for _, p := range seeds {

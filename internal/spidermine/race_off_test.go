@@ -1,0 +1,5 @@
+//go:build !race
+
+package spidermine
+
+const raceEnabled = false

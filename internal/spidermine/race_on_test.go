@@ -1,0 +1,9 @@
+//go:build race
+
+package spidermine
+
+// raceEnabled gates allocation-count assertions: the race detector makes
+// sync.Pool randomly drop Put items (by design, to surface races), so
+// paths that borrow pooled scratch — growPattern's BFS boundary via
+// graph.AppendAtDistance — are not allocation-free under -race.
+const raceEnabled = true

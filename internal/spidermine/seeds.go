@@ -25,16 +25,16 @@ import (
 // uncancelled draw would.
 func (m *Miner) seedPatterns(M int, trees []*spider.MinedTree, rng *rand.Rand) ([]*pattern.Pattern, error) {
 	if m.cfg.Radius <= 1 || len(trees) == 0 {
-		return spider.RandomSeedContext(m.ctx, m.g, m.catalog, M, m.cfg.PerHostCap, rng, m.cfg.Workers)
+		return m.sd.Draw(m.ctx, m.g, &m.catalog, M, m.cfg.PerHostCap, rng, m.cfg.Workers)
 	}
 	if M > len(trees) {
 		M = len(trees)
 	}
 	idx := rng.Perm(len(trees))[:M]
 	workers := m.workerCount(len(idx))
-	matchers := make([]canon.Matcher, workers) // one search state per worker
+	matchers := m.matcherWS.For(workers) // one search state per worker
 	drawn, err := par.Map(m.ctx, len(idx), workers, func(wk, i int) *pattern.Pattern {
-		return materializeTree(&matchers[wk], m.g, trees[idx[i]], m.cfg.PerHostCap)
+		return materializeTree(matchers[wk], m.g, trees[idx[i]], m.cfg.PerHostCap)
 	})
 	if err != nil {
 		return nil, err

@@ -1,44 +1,54 @@
 #!/usr/bin/env bash
 # bench.sh — record the benchmark trajectory for the hot paths the
-# performance PRs guard: Stage I / full-pipeline mining, canonical-code
-# computation, and embedding enumeration. Runs each suite with fixed
-# flags and writes a JSON map
+# performance PRs guard: Stage I / full-pipeline mining (sequential and
+# per-worker-count parallel), canonical-code computation, and embedding
+# enumeration. Runs each suite with fixed flags and writes a JSON map
 #
-#   { "<benchmark name>": {"ns_per_op": <float>, "allocs_per_op": <int>}, ... }
+#   { "num_cpu": <int>,
+#     "<benchmark name>": {"ns_per_op": <float>, "allocs_per_op": <int>,
+#                          "speedup": <float>}, ... }
 #
-# to the output file (default BENCH_PR5.json in the repo root; pass a
+# to the output file (default BENCH_PR8.json in the repo root; pass a
 # path to override). Names are stripped of the -GOMAXPROCS suffix so the
-# keys stay stable across machines. Committed baselines let a later PR
-# diff its numbers against the measured state of this one.
+# keys stay stable across machines; "speedup" appears only on the
+# FullPipelineParallel sub-benchmarks (wall-clock vs. an in-process
+# sequential baseline) and num_cpu records the host's core count — on a
+# single-core box the speedups hover around 1.0 by construction.
+# Committed baselines let a later PR diff its numbers against the
+# measured state of this one.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR5.json}"
+out="${1:-BENCH_PR8.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-# Pipeline-level benchmarks (root package; Quick-scale experiment driver).
-go test -run=NONE -bench='StageI|FullPipelineGID1$' -benchtime=10x -benchmem -count=1 . | tee -a "$tmp"
+# Pipeline-level benchmarks (root package; Quick-scale experiment driver),
+# including the parallel engine at workers=1/2/4/8.
+go test -run=NONE -bench='StageI|FullPipelineGID1$|FullPipelineParallel' -benchtime=10x -benchmem -count=1 . | tee -a "$tmp"
 # Substrate benchmarks: canonical codes (existing corpus + the symmetric
-# shapes the pre-v2 search blew up on) and the matcher.
+# shapes the pre-v2 search blew up on), the matcher, and the warm Stage I
+# engine (steady-state table reuse; must stay at 0 allocs/op).
 go test -run=NONE -bench='CanonicalCode|EnumerateEmbeddings' -benchtime=200x -benchmem -count=1 ./internal/canon/ | tee -a "$tmp"
+go test -run=NONE -bench='StarMinerWarm' -benchtime=100x -benchmem -count=1 ./internal/spider/ | tee -a "$tmp"
 
-awk '
+awk -v ncpu="$(getconf _NPROCESSORS_ONLN)" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
-    ns = ""; allocs = ""
+    ns = ""; allocs = ""; speedup = ""
     for (i = 2; i <= NF; i++) {
         if ($i == "ns/op") ns = $(i-1)
         if ($i == "allocs/op") allocs = $(i-1)
+        if ($i == "speedup") speedup = $(i-1)
     }
     if (ns == "") next
-    if (n++) printf ",\n"
-    printf "  \"%s\": {\"ns_per_op\": %s", name, ns
+    printf ",\n  \"%s\": {\"ns_per_op\": %s", name, ns
     if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    if (speedup != "") printf ", \"speedup\": %s", speedup
     printf "}"
 }
-BEGIN { printf "{\n" }
+BEGIN { printf "{\n  \"num_cpu\": %d", ncpu }
 END   { printf "\n}\n" }
 ' "$tmp" > "$out"
 
