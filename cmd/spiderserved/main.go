@@ -6,6 +6,7 @@
 // Usage:
 //
 //	spiderserved -addr :8471 -runners 4 -queue 64 -cache 256
+//	spiderserved -data-dir /var/lib/spiderserved   # durable, restartable
 //
 // Lifecycle:
 //
@@ -28,6 +29,13 @@
 // liveness, GET /readyz readiness. Failpoints can be armed for chaos
 // drills via the SPIDERSERVED_FAULTS environment variable (the
 // internal/fault DSL, e.g. 'serve/cache/put=error(disk full),3').
+//
+// Persistence (see README §Persistence): with -data-dir the daemon
+// opens a durable storage engine (internal/store) in that directory —
+// uploaded graphs, cacheable mining results, and terminal job records
+// survive restarts, recovered (with torn-tail repair) before the
+// listener opens. Without -data-dir everything is in-memory, exactly as
+// before the flag existed.
 package main
 
 import (
@@ -46,6 +54,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -62,6 +71,7 @@ func run() int {
 		retries  = flag.Int("max-retries", 2, "max re-runs of a job after a transient failure (0 disables retries)")
 		retryB   = flag.Duration("retry-base", 100*time.Millisecond, "first retry backoff; doubles per attempt (jittered, capped at 5s)")
 		debug    = flag.String("debug-addr", "", "optional net/http/pprof listen address (e.g. localhost:6060); empty disables")
+		dataDir  = flag.String("data-dir", "", "directory for the durable storage engine; empty serves in-memory only")
 	)
 	flag.Parse()
 
@@ -96,10 +106,30 @@ func run() int {
 		}()
 	}
 
-	srv := serve.New(serve.Config{
+	cfg := serve.Config{
 		Runners: *runners, QueueCap: *queueCap, CacheCap: *cacheCap,
 		MaxRetries: *retries, RetryBase: *retryB,
-	})
+	}
+	var backend *store.Disk
+	if *dataDir != "" {
+		var err error
+		backend, err = store.OpenDisk(*dataDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spiderserved: -data-dir: %v\n", err)
+			return 1
+		}
+		cfg.Backend = backend
+	}
+	srv, recovered, err := serve.Open(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spiderserved: recovery: %v\n", err)
+		return 1
+	}
+	if backend != nil {
+		st := backend.Stats()
+		fmt.Fprintf(os.Stderr, "spiderserved: data-dir %s: recovered %d graphs, %d job records (log truncations: %d)\n",
+			*dataDir, recovered.Graphs, recovered.Jobs, st.RecoveryTruncations)
+	}
 	httpSrv := &http.Server{Handler: srv}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -135,6 +165,14 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "spiderserved: http shutdown: %v\n", err)
 	}
 	httpSrv.Close()
+	// Close the storage engine after the drain: every terminal job has
+	// journaled by now, and Close writes the sidecar index that makes the
+	// next start's recovery O(1) instead of a full log scan.
+	if backend != nil {
+		if err := backend.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "spiderserved: store close: %v\n", err)
+		}
+	}
 	fmt.Fprintln(os.Stderr, "spiderserved: drained")
 	return 0
 }

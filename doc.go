@@ -49,6 +49,33 @@
 // internal/serve package comment for the endpoint reference and
 // README.md for the job lifecycle.
 //
+// # Persistence
+//
+// internal/store is the durable storage engine under the serving layer:
+// a Backend interface — content-addressed blob namespaces plus a small
+// fsynced record journal — with two implementations. store.Memory keeps
+// everything in process maps (the default; serving behavior is
+// byte-identical to the pre-durability server), and store.Disk is a
+// pure-Go append-only segment log of CRC-framed records with a sidecar
+// index for O(1) clean reopen and a recovery scan that truncates torn
+// tails (a crashed write never poisons the log; it is cut at the last
+// intact frame and overwritten by the next append). Uploaded graphs
+// persist through a versioned binary CSR codec
+// (graph.AppendBinary/DecodeBinary — round-trips Builder.Build output
+// exactly, so the content fingerprint re-verifies on load), cacheable
+// mining results through mine.EncodeResult/DecodeResult, and terminal
+// job records as JSON journal appends. cmd/spiderserved -data-dir turns
+// it on: a restart recovers the graph store, the persistent result
+// cache, and /jobs history (resuming the job-ID sequence) before the
+// listener opens. Durable: registered graphs, deterministically
+// cacheable results, terminal job records. Deliberately not durable:
+// non-terminal jobs, progress event logs, and wall-clock-truncated or
+// failed results — all recomputable or timing-dependent. Injected
+// storage faults (failpoints store/disk/put, store/disk/get,
+// store/disk/sync) surface as 503 backpressure on upload or silent
+// cache degradation on reads — never a 404, never a dead daemon
+// (persist_test.go asserts this through the HTTP surface).
+//
 // # Failure semantics
 //
 // The serving layer degrades, never corrupts (README §Failure semantics

@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// randomGraph builds a random labeled graph through the normal Builder
+// path (duplicates and self-loops included, which Build drops).
+func randomGraph(rng *rand.Rand, n, tries int) *Graph {
+	b := NewBuilder(n, tries)
+	for i := 0; i < n; i++ {
+		b.AddVertex(Label(rng.Intn(7)))
+	}
+	for i := 0; i < tries; i++ {
+		b.AddEdge(V(rng.Intn(n)), V(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+// sameGraph asserts structural equality: labels, offsets, neighbors,
+// edge count, and sketches — the full canonical Build output.
+func sameGraph(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if got.N() != want.N() || got.M() != want.M() {
+		t.Fatalf("decoded n=%d m=%d, want n=%d m=%d", got.N(), got.M(), want.N(), want.M())
+	}
+	for v := 0; v < want.N(); v++ {
+		if got.Label(V(v)) != want.Label(V(v)) {
+			t.Fatalf("label of %d = %d, want %d", v, got.Label(V(v)), want.Label(V(v)))
+		}
+		gn, wn := got.Neighbors(V(v)), want.Neighbors(V(v))
+		if len(gn) != len(wn) {
+			t.Fatalf("degree of %d = %d, want %d", v, len(gn), len(wn))
+		}
+		for i := range gn {
+			if gn[i] != wn[i] {
+				t.Fatalf("neighbors of %d = %v, want %v", v, gn, wn)
+			}
+		}
+		if got.sketches[v] != want.sketches[v] {
+			t.Fatalf("sketch of %d differs", v)
+		}
+	}
+}
+
+func TestBinaryCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := []*Graph{
+		{}, // empty graph
+		FromEdges([]Label{3}, nil),
+		FromEdges([]Label{1, 2}, []Edge{{0, 1}}),
+		FromEdges([]Label{-5, 0, 9}, []Edge{{0, 1}, {1, 2}, {0, 2}}),
+	}
+	for i := 0; i < 20; i++ {
+		cases = append(cases, randomGraph(rng, 2+rng.Intn(60), rng.Intn(200)))
+	}
+	for i, g := range cases {
+		enc := g.AppendBinary(nil)
+		dec, err := DecodeBinary(enc)
+		if err != nil {
+			t.Fatalf("case %d (n=%d m=%d): decode: %v", i, g.N(), g.M(), err)
+		}
+		sameGraph(t, dec, g)
+		// Re-encoding the decoded graph is byte-identical: the codec's
+		// round-trip-exactness claim, bytes included.
+		if re := dec.AppendBinary(nil); !bytes.Equal(re, enc) {
+			t.Fatalf("case %d: re-encode differs (%d vs %d bytes)", i, len(re), len(enc))
+		}
+	}
+}
+
+func TestBinaryCodecAppendsToDst(t *testing.T) {
+	g := FromEdges([]Label{1, 2}, []Edge{{0, 1}})
+	prefix := []byte("hdr")
+	out := g.AppendBinary(append([]byte(nil), prefix...))
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatal("AppendBinary must append to dst")
+	}
+	dec, err := DecodeBinary(out[len(prefix):])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, dec, g)
+}
+
+func TestBinaryCodecRejectsCorruption(t *testing.T) {
+	g := FromEdges([]Label{1, 2, 3}, []Edge{{0, 1}, {1, 2}})
+	enc := g.AppendBinary(nil)
+
+	cases := map[string][]byte{
+		"empty":          {},
+		"bad magic":      append([]byte("XXXX"), enc[4:]...),
+		"truncated":      enc[:len(enc)-1],
+		"trailing bytes": append(append([]byte(nil), enc...), 0),
+	}
+	for name, data := range cases {
+		if _, err := DecodeBinary(data); !errors.Is(err, ErrBadCodec) {
+			t.Errorf("%s: want ErrBadCodec, got %v", name, err)
+		}
+	}
+
+	// Edge referencing a vertex past n.
+	bad := []byte{'S', 'P', 'G', '1', 2, 1, 2, 4, 0, 5}
+	if _, err := DecodeBinary(bad); !errors.Is(err, ErrBadCodec) {
+		t.Errorf("out-of-range edge: want ErrBadCodec, got %v", err)
+	}
+	// Self-loop (u == w) violates canonical form.
+	loop := []byte{'S', 'P', 'G', '1', 2, 1, 2, 4, 1, 1}
+	if _, err := DecodeBinary(loop); !errors.Is(err, ErrBadCodec) {
+		t.Errorf("self-loop edge: want ErrBadCodec, got %v", err)
+	}
+}

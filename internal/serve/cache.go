@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 
+	"repro/internal/store"
 	"repro/mine"
 )
 
@@ -24,28 +25,47 @@ func Key(hostFP, miner string, opts mine.Options) CacheKey {
 	return CacheKey{Host: hostFP, Miner: miner, Options: FingerprintBytes([]byte(opts.Canonical()))}
 }
 
-// Cache is a bounded LRU result cache. Stored Results are shared by
-// pointer between jobs and HTTP responses and are treated as immutable —
-// the façade never mutates a returned Result, and nothing downstream may
-// either. Only successful (nil-error) runs whose outcome is a
-// deterministic function of the key are cached: cancelled runs' partials
-// depend on where cancellation landed, and MaxWallClock-truncated
-// results on machine load, so both must re-run (see Scheduler.runJob).
+// blobKey is the backend blob key for a cache key — the three frozen
+// fingerprint components joined, each fixed-width hex so the join is
+// injective.
+func (k CacheKey) blobKey() string { return k.Host + "/" + k.Miner + "/" + k.Options }
+
+// Cache is a bounded LRU result cache, optionally backed by a durable
+// tier. Stored Results are shared by pointer between jobs and HTTP
+// responses and are treated as immutable — the façade never mutates a
+// returned Result, and nothing downstream may either. Only successful
+// (nil-error) runs whose outcome is a deterministic function of the key
+// are cached: cancelled runs' partials depend on where cancellation
+// landed, and MaxWallClock-truncated results on machine load, so both
+// must re-run (see Scheduler.runJob).
+//
+// With a backend (NewCacheWith), the LRU is the in-memory tier and
+// every Put writes through: an L1 miss consults the backend, decodes
+// the stored Result (mine.DecodeResult), and promotes it — so the
+// effective capacity is the backend's, with the LRU bounding only the
+// decoded working set.
 type Cache struct {
 	mu      sync.Mutex
 	cap     int
 	entries map[CacheKey]*list.Element
 	lru     list.List // front = most recently used
+	backend store.Backend
 	hits    uint64
 	misses  uint64
 	// degraded counts lookups that failed in the backend and were served
-	// as misses (the serve/cache/get failpoint today; a replicated
-	// cache's network errors tomorrow). Kept apart from misses: a miss
+	// as misses (the serve/cache/get failpoint, a durable tier's read
+	// errors, an undecodable stored blob). Kept apart from misses: a miss
 	// is a statement about the key ("nobody computed this"), a degrade
 	// is a statement about the cache's health — folding them together
 	// understates the real hit rate exactly when the cache is sick.
 	degraded  uint64
 	evictions uint64
+	// backendHits is the subset of hits served from the durable tier
+	// (L1 miss, backend hit, promoted); persistDrops counts Puts whose
+	// durable write failed — the entry lives in L1 only and will not
+	// survive a restart.
+	backendHits  uint64
+	persistDrops uint64
 }
 
 type cacheEntry struct {
@@ -53,21 +73,29 @@ type cacheEntry struct {
 	res *mine.Result
 }
 
-// NewCache returns a result cache bounded to capacity entries;
-// capacity <= 0 disables caching (every Get misses, Put is a no-op).
+// NewCache returns a memory-only result cache bounded to capacity
+// entries; capacity <= 0 disables caching (every Get misses, Put is a
+// no-op).
 func NewCache(capacity int) *Cache {
 	c := &Cache{cap: capacity, entries: make(map[CacheKey]*list.Element)}
 	c.lru.Init()
 	return c
 }
 
+// NewCacheWith returns a result cache with an in-memory LRU tier of
+// capacity entries over the given durable backend.
+func NewCacheWith(capacity int, b store.Backend) *Cache {
+	c := NewCache(capacity)
+	c.backend = b
+	return c
+}
+
 // Get returns the cached Result for key, marking it most recently used.
-// A failed backend read (the serve/cache/get failpoint; a future
-// replicated cache's network errors) degrades to a miss: the cache is an
-// optimization, never a dependency, so lookups cannot fail — only miss.
-// Degrades are counted in CacheStats.Degraded, not Misses, so the
-// hit-rate SLO stays honest while faults are injected or a backend is
-// sick.
+// A failed backend read (the serve/cache/get failpoint; a durable
+// tier's I/O errors) degrades to a miss: the cache is an optimization,
+// never a dependency, so lookups cannot fail — only miss. Degrades are
+// counted in CacheStats.Degraded, not Misses, so the hit-rate SLO stays
+// honest while faults are injected or a backend is sick.
 func (c *Cache) Get(key CacheKey) (*mine.Result, bool) {
 	if c == nil || c.cap <= 0 {
 		return nil, false
@@ -79,21 +107,53 @@ func (c *Cache) Get(key CacheKey) (*mine.Result, bool) {
 		return nil, false
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
-	if !ok {
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		res := el.Value.(*cacheEntry).res
+		c.mu.Unlock()
+		return res, true
+	}
+	if c.backend == nil {
 		c.misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.mu.Unlock()
+	// L1 miss with a durable tier: read and decode outside the lock (a
+	// disk read plus a full Result decode must not serialize the cache),
+	// then promote. A racing Put of the same key is benign — both sides
+	// hold an identical-by-determinism Result.
+	blob, err := c.backend.Get(kindResult, key.blobKey())
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		if err == store.ErrNotFound {
+			c.misses++
+		} else {
+			c.degraded++
+		}
+		return nil, false
+	}
+	res, err := mine.DecodeResult(blob)
+	if err != nil {
+		// An undecodable blob (torn write survived CRC? codec drift?) is a
+		// degrade, not a miss: the computation was done, we just can't
+		// read it back. The job re-runs and its Put overwrites the blob.
+		c.degraded++
 		return nil, false
 	}
 	c.hits++
-	c.lru.MoveToFront(el)
-	return el.Value.(*cacheEntry).res, true
+	c.backendHits++
+	c.putLocked(key, res)
+	return res, true
 }
 
 // Put stores a Result under key, evicting the least recently used entry
 // when the cache is full. A failed backend write (the serve/cache/put
-// failpoint) drops the store silently — the result is still served from
-// the job; only the O(1) repeat-query path is lost.
+// failpoint, a durable tier's I/O errors) drops that tier's store
+// silently — the result is still served from the job; only the O(1)
+// repeat-query path (or its restart-durability) is lost.
 func (c *Cache) Put(key CacheKey, res *mine.Result) {
 	if c == nil || c.cap <= 0 || res == nil {
 		return
@@ -102,7 +162,26 @@ func (c *Cache) Put(key CacheKey, res *mine.Result) {
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.putLocked(key, res)
+	c.mu.Unlock()
+	if c.backend == nil {
+		return
+	}
+	// Write through outside the lock; the encode is CPU-bound and the
+	// append fsyncs.
+	blob, err := mine.EncodeResult(res)
+	if err == nil {
+		err = c.backend.Put(kindResult, key.blobKey(), blob)
+	}
+	if err != nil {
+		c.mu.Lock()
+		c.persistDrops++
+		c.mu.Unlock()
+	}
+}
+
+// putLocked inserts or refreshes the L1 entry for key. Caller holds mu.
+func (c *Cache) putLocked(key CacheKey, res *mine.Result) {
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*cacheEntry).res = res
 		c.lru.MoveToFront(el)
@@ -120,14 +199,17 @@ func (c *Cache) Put(key CacheKey, res *mine.Result) {
 // CacheStats is a point-in-time snapshot of cache effectiveness.
 // Degraded counts backend-failed lookups served as misses; the true
 // hit rate is Hits / (Hits + Misses), with Degraded reported beside it
-// rather than polluting either term.
+// rather than polluting either term. BackendHits ⊆ Hits; PersistDrops
+// counts results that reached L1 but not the durable tier.
 type CacheStats struct {
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
-	Degraded  uint64 `json:"degraded"`
-	Evictions uint64 `json:"evictions"`
-	Entries   int    `json:"entries"`
-	Cap       int    `json:"capacity"`
+	Hits         uint64 `json:"hits"`
+	Misses       uint64 `json:"misses"`
+	Degraded     uint64 `json:"degraded"`
+	Evictions    uint64 `json:"evictions"`
+	BackendHits  uint64 `json:"backend_hits"`
+	PersistDrops uint64 `json:"persist_drops"`
+	Entries      int    `json:"entries"`
+	Cap          int    `json:"capacity"`
 }
 
 // Stats snapshots hit/miss/degrade/eviction counters and occupancy.
@@ -140,6 +222,7 @@ func (c *Cache) Stats() CacheStats {
 	return CacheStats{
 		Hits: c.hits, Misses: c.misses,
 		Degraded: c.degraded, Evictions: c.evictions,
+		BackendHits: c.backendHits, PersistDrops: c.persistDrops,
 		Entries: c.lru.Len(), Cap: c.cap,
 	}
 }

@@ -74,11 +74,17 @@ func TestStoreDedupesByContent(t *testing.T) {
 	s := NewStore()
 	g1 := mine.FromEdges([]mine.Label{1, 2}, []mine.Edge{{U: 0, W: 1}})
 	g2 := mine.FromEdges([]mine.Label{1, 2}, []mine.Edge{{U: 0, W: 1}}) // same content, new allocation
-	a, existed := s.Add(g1, "first")
+	a, existed, err := s.Add(g1, "first")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if existed {
 		t.Fatal("fresh graph reported as existing")
 	}
-	b, existed := s.Add(g2, "second")
+	b, existed, err := s.Add(g2, "second")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !existed {
 		t.Fatal("identical content not deduplicated")
 	}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -79,6 +80,10 @@ type Job struct {
 	// bare Scheduler); terminal transitions that happen on the Job
 	// itself (queued-job cancellation) record through it.
 	metrics *Metrics
+	// sched points back to the owning scheduler so terminal transitions
+	// that happen on the Job itself journal through it (nil for a job
+	// that never passed Submit; journalTerminal tolerates that).
+	sched *Scheduler
 }
 
 // broadcastLocked wakes every waiter; callers hold j.mu.
@@ -155,7 +160,7 @@ func (j *Job) Outcome() (res *mine.Result, ok bool, err error) {
 // block). On a terminal job it is a no-op.
 func (j *Job) RequestCancel() {
 	j.mu.Lock()
-	defer j.mu.Unlock()
+	canceled := false
 	switch j.status {
 	case StatusQueued:
 		j.status = StatusCanceled
@@ -163,8 +168,13 @@ func (j *Job) RequestCancel() {
 		j.finished = time.Now().UTC()
 		j.metrics.jobFinished(StatusCanceled)
 		j.broadcastLocked()
+		canceled = true
 	case StatusRunning:
 		j.cancel()
+	}
+	j.mu.Unlock()
+	if canceled {
+		j.sched.journalTerminal(j)
 	}
 }
 
@@ -225,6 +235,14 @@ type Scheduler struct {
 	// NewScheduler leaves it nil and every record site no-ops.
 	metrics *Metrics
 
+	// journal, when set (serve.New over a persistent backend), receives
+	// one appended record per terminal job transition, so the /jobs
+	// history survives restarts. Append failures are counted in
+	// journalErrs, never propagated: history durability is best-effort,
+	// job execution is not.
+	journal     journalWriter
+	journalErrs atomic.Int64
+
 	queue      chan *Job
 	runners    int
 	queueCap   int
@@ -254,6 +272,35 @@ type Scheduler struct {
 	// pin every historical Result and event log forever). Live jobs are
 	// never evicted.
 	retain int
+	// history holds terminal job records recovered from the journal —
+	// the restart-surviving tail of /jobs, kept apart from live *Jobs
+	// (a history entry has a snapshot and a cache key, but no events,
+	// no Result pointer, no goroutine).
+	history      map[string]historyEntry
+	historyOrder []string
+}
+
+// journalWriter is the slice of store.Backend the scheduler needs;
+// narrowed to an interface so jobs.go stays backend-agnostic.
+type journalWriter interface{ Append(rec []byte) error }
+
+// jobRecordType versions the journal's job records: any change to the
+// record's field semantics must mint a new type string, and recovery
+// skips types it does not know.
+const jobRecordType = "job/v1"
+
+// jobRecord is the journal wire form of one terminal job: its final
+// snapshot plus the cache key, which lets a restarted daemon re-serve
+// the job's Result from the persistent result cache.
+type jobRecord struct {
+	Type string      `json:"type"`
+	Snap JobSnapshot `json:"snapshot"`
+	Key  CacheKey    `json:"key"`
+}
+
+type historyEntry struct {
+	snap JobSnapshot
+	key  CacheKey
 }
 
 // defaultJobRetention bounds job history when the embedder does not
@@ -287,6 +334,7 @@ func NewScheduler(cache *Cache, runners, queueCap int) *Scheduler {
 		retryBase: defaultRetryBase,
 		sleep:     sleepCtx,
 		jobs:      make(map[string]*Job),
+		history:   make(map[string]historyEntry),
 		accepting: true,
 		retain:    defaultJobRetention,
 	}
@@ -337,12 +385,13 @@ func (s *Scheduler) Submit(sg *StoredGraph, minerName string, opts mine.Options)
 		notify:  make(chan struct{}),
 		created: time.Now().UTC(),
 		metrics: s.metrics,
+		sched:   s,
 	}
 	cachedRes, hit := s.cache.Get(job.Key)
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if !s.accepting {
+		s.mu.Unlock()
 		return nil, ErrDraining
 	}
 	s.nextID++
@@ -357,13 +406,111 @@ func (s *Scheduler) Submit(sg *StoredGraph, minerName string, opts mine.Options)
 		select {
 		case s.queue <- job:
 		default:
+			s.mu.Unlock()
 			return nil, ErrQueueFull
 		}
 	}
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
 	s.evictLocked()
+	s.mu.Unlock()
+	if hit {
+		// A cache hit is born terminal; journal it like any other
+		// completion (after s.mu is released — journalTerminal fsyncs).
+		s.journalTerminal(job)
+	}
 	return job, nil
+}
+
+// journalTerminal appends one terminal-job record to the durable
+// journal; a no-op without one (memory-backed serving, bare Scheduler
+// tests). Called only after every scheduler/job mutex is released —
+// Snapshot re-locks j.mu, and the append fsyncs. Failures count in
+// journalErrs and cost only the entry's restart-durability.
+func (s *Scheduler) journalTerminal(j *Job) {
+	if s == nil || s.journal == nil {
+		return
+	}
+	rec, err := json.Marshal(jobRecord{Type: jobRecordType, Snap: j.Snapshot(), Key: j.Key})
+	if err == nil {
+		err = s.journal.Append(rec)
+	}
+	if err != nil {
+		s.journalErrs.Add(1)
+	}
+}
+
+// recoverJournal rebuilds the terminal-job history from journal records
+// (the last record per job ID wins) and resumes the ID sequence past
+// the highest recovered numeric ID, so a restarted daemon never mints a
+// job ID that collides with history. Records of unknown type — future
+// kinds sharing the journal — and unparseable records are skipped, not
+// fatal. Returns the recovered-entry count.
+func (s *Scheduler) recoverJournal(recs [][]byte) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, raw := range recs {
+		var r jobRecord
+		if err := json.Unmarshal(raw, &r); err != nil || r.Type != jobRecordType || r.Snap.ID == "" {
+			continue
+		}
+		if _, ok := s.history[r.Snap.ID]; !ok {
+			s.historyOrder = append(s.historyOrder, r.Snap.ID)
+		}
+		s.history[r.Snap.ID] = historyEntry{snap: r.Snap, key: r.Key}
+		var n int
+		if _, err := fmt.Sscanf(r.Snap.ID, "j%d", &n); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+	}
+	// Trim to the retention bound, oldest first, mirroring live-job
+	// eviction.
+	if s.retain > 0 && len(s.historyOrder) > s.retain {
+		drop := len(s.historyOrder) - s.retain
+		for _, id := range s.historyOrder[:drop] {
+			delete(s.history, id)
+		}
+		s.historyOrder = append([]string(nil), s.historyOrder[drop:]...)
+	}
+	return len(s.history)
+}
+
+// History returns the recovered terminal record for a job ID that
+// predates this process (pre-restart history). Live jobs are not
+// consulted — use Get first.
+func (s *Scheduler) History(id string) (JobSnapshot, CacheKey, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.history[id]
+	return e.snap, e.key, ok
+}
+
+// JournalErrs reports failed journal appends since startup.
+func (s *Scheduler) JournalErrs() int64 { return s.journalErrs.Load() }
+
+// Snapshots returns the observable job listing: recovered history first
+// (journal order), then live jobs in submission order — the wire form
+// of GET /jobs. A live job shadows any same-ID history entry, though
+// IDs never collide in practice (recoverJournal resumes the sequence).
+func (s *Scheduler) Snapshots() []JobSnapshot {
+	s.mu.Lock()
+	live := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		live = append(live, s.jobs[id])
+	}
+	hist := make([]JobSnapshot, 0, len(s.historyOrder))
+	for _, id := range s.historyOrder {
+		if _, shadowed := s.jobs[id]; shadowed {
+			continue
+		}
+		hist = append(hist, s.history[id].snap)
+	}
+	s.mu.Unlock()
+	out := hist
+	for _, j := range live {
+		out = append(out, j.Snapshot())
+	}
+	return out
 }
 
 // evictLocked drops the oldest terminal jobs while the registry exceeds
@@ -522,8 +669,8 @@ func (s *Scheduler) runContained(j *Job) {
 // left non-terminal.
 func (j *Job) forceFail(err error) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.status.terminal() {
+		j.mu.Unlock()
 		return
 	}
 	j.status = StatusFailed
@@ -531,6 +678,8 @@ func (j *Job) forceFail(err error) {
 	j.finished = time.Now().UTC()
 	j.metrics.jobFinished(StatusFailed)
 	j.broadcastLocked()
+	j.mu.Unlock()
+	j.sched.journalTerminal(j)
 }
 
 func (s *Scheduler) runJob(j *Job) {
@@ -549,6 +698,7 @@ func (s *Scheduler) runJob(j *Job) {
 		s.metrics.jobFinished(StatusCanceled)
 		j.broadcastLocked()
 		j.mu.Unlock()
+		s.journalTerminal(j)
 		return
 	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
@@ -602,6 +752,7 @@ func (s *Scheduler) runJob(j *Job) {
 	s.metrics.recordRun(j.Miner, j.status, j.finished.Sub(j.started), stages)
 	j.broadcastLocked()
 	j.mu.Unlock()
+	s.journalTerminal(j)
 }
 
 // mineWithRetry invokes the miner, re-running transient-classed failures

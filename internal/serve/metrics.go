@@ -129,6 +129,33 @@ func (m *Metrics) bind(s *Server) {
 		"graph-store reads failed by a backend fault", func() uint64 { return store.faults.Value() })
 	reg.GaugeFunc("spiderserved_store_graphs",
 		"registered host graphs", func() float64 { return float64(store.Len()) })
+
+	// Storage-engine families. Registered unconditionally — a memory
+	// backend reports zeros — so the /metrics schema does not depend on
+	// whether the daemon runs with -data-dir.
+	backend := s.backend
+	reg.CounterFunc("spiderserved_store_disk_bytes_written_total",
+		"bytes appended to the storage backend's log (headers + payloads)",
+		func() uint64 { return backend.Stats().BytesWritten })
+	reg.CounterFunc("spiderserved_store_disk_bytes_read_total",
+		"payload bytes read back from the storage backend",
+		func() uint64 { return backend.Stats().BytesRead })
+	reg.CounterFunc("spiderserved_store_disk_fsyncs_total",
+		"fsyncs issued by the storage backend",
+		func() uint64 { return backend.Stats().Fsyncs })
+	reg.CounterFunc("spiderserved_store_disk_recovery_truncations_total",
+		"torn log tails truncated by backend recovery scans",
+		func() uint64 { return backend.Stats().RecoveryTruncations })
+
+	reg.CounterFunc("spiderserved_cache_backend_hits_total",
+		"result-cache hits served from the durable tier (and promoted to L1)",
+		func() uint64 { return cache.Stats().BackendHits })
+	reg.CounterFunc("spiderserved_cache_persist_drops_total",
+		"results cached in memory whose durable write-through failed",
+		func() uint64 { return cache.Stats().PersistDrops })
+	reg.CounterFunc("spiderserved_sched_journal_errors_total",
+		"terminal-job journal appends that failed",
+		func() uint64 { return uint64(sched.JournalErrs()) })
 }
 
 // observeQueueWait records queue dwell time for a claimed job.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/store"
 	"repro/mine"
 )
 
@@ -37,6 +38,12 @@ type Config struct {
 	// RetryBase seeds the exponential retry backoff (doubled per
 	// attempt, jittered, capped at 5s); <= 0 means the 100ms default.
 	RetryBase time.Duration
+	// Backend, when set, is the durable storage engine (internal/store):
+	// uploaded graphs and cacheable results write through to it, and
+	// terminal job records are journaled, so a restart over the same
+	// backend recovers all three (serve.Open). Nil means memory-only
+	// serving — behavior identical to the pre-durability server.
+	Backend store.Backend
 }
 
 // Server is the HTTP/JSON mining service: an http.Handler exposing the
@@ -59,12 +66,17 @@ type Config struct {
 //	GET    /jobs/{id}/result  terminal result (partials included for canceled jobs)
 //	GET    /metrics           Prometheus text exposition of the serving metrics
 type Server struct {
-	store     *Store
-	cache     *Cache
-	sched     *Scheduler
-	metrics   *Metrics
-	mux       *http.ServeMux
-	maxUpload int64
+	store   *Store
+	cache   *Cache
+	sched   *Scheduler
+	metrics *Metrics
+	mux     *http.ServeMux
+	// backend is the storage engine everything above writes through —
+	// a store.Memory unless Config.Backend supplied a durable one, in
+	// which case persistent is set and recovery/journaling activate.
+	backend    store.Backend
+	persistent bool
+	maxUpload  int64
 }
 
 // New assembles a Server and starts its scheduler runners.
@@ -72,13 +84,27 @@ func New(cfg Config) *Server {
 	if cfg.MaxUploadBytes <= 0 {
 		cfg.MaxUploadBytes = 256 << 20
 	}
+	backend := cfg.Backend
+	persistent := backend != nil
+	if backend == nil {
+		backend = store.NewMemory()
+	}
 	s := &Server{
-		store:     NewStore(),
-		cache:     NewCache(cfg.CacheCap),
-		mux:       http.NewServeMux(),
-		maxUpload: cfg.MaxUploadBytes,
+		store:      NewStoreWith(backend),
+		mux:        http.NewServeMux(),
+		backend:    backend,
+		persistent: persistent,
+		maxUpload:  cfg.MaxUploadBytes,
+	}
+	if persistent {
+		s.cache = NewCacheWith(cfg.CacheCap, backend)
+	} else {
+		s.cache = NewCache(cfg.CacheCap)
 	}
 	s.sched = NewScheduler(s.cache, cfg.Runners, cfg.QueueCap)
+	if persistent {
+		s.sched.journal = backend
+	}
 	if cfg.JobsCap > 0 {
 		s.sched.retain = cfg.JobsCap
 	}
@@ -108,6 +134,48 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
+}
+
+// Open assembles a Server over cfg (normally with a durable
+// cfg.Backend) and recovers persisted state before returning — the
+// restartable-daemon entry point (cmd/spiderserved with -data-dir).
+// With no Backend it degenerates to New with zero recovery.
+func Open(cfg Config) (*Server, RecoveryStats, error) {
+	s := New(cfg)
+	rs, err := s.Recover()
+	if err != nil {
+		return nil, rs, err
+	}
+	return s, rs, nil
+}
+
+// RecoveryStats reports what a Recover pass restored from the backend.
+type RecoveryStats struct {
+	Graphs int // graphs re-registered (fingerprints re-verified)
+	Jobs   int // terminal job records replayed into /jobs history
+}
+
+// Recover rebuilds serving state from the configured durable backend:
+// graph blobs decode and re-register under re-verified fingerprints,
+// and the journal replays terminal job records into history (resuming
+// the job-ID sequence past them). A no-op without a Config.Backend.
+// Call before serving traffic; Open does.
+func (s *Server) Recover() (RecoveryStats, error) {
+	var rs RecoveryStats
+	if !s.persistent {
+		return rs, nil
+	}
+	n, err := s.store.Recover()
+	rs.Graphs = n
+	if err != nil {
+		return rs, err
+	}
+	recs, err := s.backend.Journal()
+	if err != nil {
+		return rs, fmt.Errorf("serve: recover journal: %w", err)
+	}
+	rs.Jobs = s.sched.recoverJournal(recs)
+	return rs, nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -199,13 +267,15 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]any{
-		"cache":       s.cache.Stats(),
-		"queue_depth": s.sched.QueueDepth(),
-		"queue_cap":   s.sched.QueueCap(),
-		"draining":    s.sched.Draining(),
-		"retries":     s.sched.Retries(),
-		"panics":      s.sched.Panics(),
-		"graphs":      s.store.Len(),
+		"cache":          s.cache.Stats(),
+		"queue_depth":    s.sched.QueueDepth(),
+		"queue_cap":      s.sched.QueueCap(),
+		"draining":       s.sched.Draining(),
+		"retries":        s.sched.Retries(),
+		"panics":         s.sched.Panics(),
+		"graphs":         s.store.Len(),
+		"journal_errors": s.sched.JournalErrs(),
+		"persistent":     s.persistent,
 		// The full metric registry (histogram quantiles included), for
 		// clients that want one JSON snapshot instead of scraping
 		// /metrics.
@@ -245,11 +315,18 @@ func (s *Server) handleUploadGraph(w http.ResponseWriter, r *http.Request) {
 	sg, existed, err := s.store.ReadLG(body, r.URL.Query().Get("name"))
 	if err != nil {
 		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
+		switch {
+		case errors.As(err, &tooBig):
 			s.writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("serve: upload exceeds %d bytes", s.maxUpload))
-			return
+		case errors.Is(err, ErrPersist) || fault.IsInjected(err):
+			// The graph parsed fine; the durable tier couldn't take it.
+			// Backpressure — the client should retry the same bytes, not
+			// fix them — and nothing was registered, so no half-uploaded
+			// state can 404 later.
+			s.writeBackpressure(w, err, s.retryAfterHint(false))
+		default:
+			s.writeError(w, http.StatusBadRequest, err)
 		}
-		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	s.metrics.upload(body.n)
@@ -442,12 +519,9 @@ func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
 }
 
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
-	jobs := s.sched.List()
-	out := make([]JobSnapshot, 0, len(jobs))
-	for _, j := range jobs {
-		out = append(out, j.Snapshot())
-	}
-	s.writeJSON(w, http.StatusOK, out)
+	// Snapshots includes journal-recovered history ahead of live jobs,
+	// so /jobs reads continuously across a restart.
+	s.writeJSON(w, http.StatusOK, s.sched.Snapshots())
 }
 
 func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
@@ -460,14 +534,29 @@ func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 }
 
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
-	if j, ok := s.job(w, r); ok {
+	id := r.PathValue("id")
+	if j, ok := s.sched.Get(id); ok {
 		s.writeJSON(w, http.StatusOK, j.Snapshot())
+		return
 	}
+	if snap, _, ok := s.sched.History(id); ok {
+		s.writeJSON(w, http.StatusOK, snap)
+		return
+	}
+	s.writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", id))
 }
 
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.job(w, r)
+	id := r.PathValue("id")
+	j, ok := s.sched.Get(id)
 	if !ok {
+		if snap, _, hok := s.sched.History(id); hok {
+			// History entries are terminal by construction; cancelling one
+			// is the same no-op as cancelling any terminal job.
+			s.writeJSON(w, http.StatusAccepted, snap)
+			return
+		}
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", id))
 		return
 	}
 	// Cancel on the job we already hold: a concurrent retention eviction
@@ -482,8 +571,26 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 // status record {"status": ..., "truncated": ..., "error": ...} once the
 // job is terminal.
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.job(w, r)
+	id := r.PathValue("id")
+	j, ok := s.sched.Get(id)
 	if !ok {
+		snap, _, hok := s.sched.History(id)
+		if !hok {
+			s.writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", id))
+			return
+		}
+		// Event logs are not journaled (they are progress, not outcome);
+		// replay just the terminal status record so the stream contract —
+		// "terminated by a status record" — holds across restarts.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		if err := json.NewEncoder(w).Encode(map[string]string{
+			"status":    string(snap.Status),
+			"truncated": snap.Truncated,
+			"error":     snap.Error,
+		}); err != nil {
+			s.metrics.encodeFailure()
+		}
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -540,8 +647,10 @@ type resultJSON struct {
 }
 
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.job(w, r)
+	id := r.PathValue("id")
+	j, ok := s.sched.Get(id)
 	if !ok {
+		s.writeHistoryResult(w, id)
 		return
 	}
 	res, done, err := j.Outcome()
@@ -565,4 +674,31 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		out.Patterns = []*mine.Pattern{}
 	}
 	s.writeJSON(w, http.StatusOK, out)
+}
+
+// writeHistoryResult serves the result of a journal-recovered job. The
+// in-process Result pointer did not survive the restart, so only
+// outcomes that were cacheable — and therefore persisted in the result
+// cache's durable tier — can be re-served; anything else (failures,
+// cancellations' partials, wall-clock-truncated runs) is 410 Gone with
+// a resubmit hint, never a 404 that would suggest the job ID is wrong.
+func (s *Server) writeHistoryResult(w http.ResponseWriter, id string) {
+	snap, key, ok := s.sched.History(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", id))
+		return
+	}
+	if res, hit := s.cache.Get(key); hit {
+		out := resultJSON{
+			Job: id, Status: snap.Status, Miner: snap.Miner,
+			Truncated: snap.Truncated, Cached: true, Error: snap.Error,
+			Stats: res.Stats, Patterns: res.Patterns,
+		}
+		if out.Patterns == nil {
+			out.Patterns = []*mine.Pattern{}
+		}
+		s.writeJSON(w, http.StatusOK, out)
+		return
+	}
+	s.writeError(w, http.StatusGone, fmt.Errorf("serve: job %q finished %q before a restart and its result was not retained; resubmit to recompute", id, snap.Status))
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -9,14 +10,29 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // ErrUnknownGraph reports a lookup miss: no graph with that fingerprint
 // is registered. Get wraps it with the id; any other Get error is a read
-// failure (today only injectable via the serve/store/get failpoint, the
-// seam a future persistent store's I/O errors will surface through) and
-// serving surfaces must treat it as retryable, not as "not found".
+// failure (the serve/store/get failpoint, or a persistent backend's I/O
+// errors) and serving surfaces must treat it as retryable, not as "not
+// found".
 var ErrUnknownGraph = errors.New("serve: unknown graph")
+
+// ErrPersist marks a write-through failure on the durable tier: the
+// graph was parsed and fingerprinted but could not be made durable, so
+// it was not registered. Serving surfaces map it to 503 backpressure —
+// the client should retry, not fix its request.
+var ErrPersist = errors.New("serve: persistent store write failed")
+
+// kindGraph and kindResult are the backend blob namespaces the serving
+// layer uses: uploaded host graphs keyed by content fingerprint, and
+// cached mining results keyed by the frozen cache-key triple.
+const (
+	kindGraph  = "graphs"
+	kindResult = "results"
+)
 
 // StoredGraph is one registered host graph. ID is the content
 // fingerprint (FingerprintGraph), so a graph uploaded twice — under any
@@ -34,11 +50,16 @@ type StoredGraph struct {
 }
 
 // Store is the concurrent registry of uploaded host graphs, keyed by
-// content fingerprint.
+// content fingerprint. The decoded map is the read tier (jobs hold the
+// *graph.Graph); every Add writes through to the durable backend first,
+// so a graph is never registered without being durable — and Recover
+// rebuilds the registry from the backend after a restart.
 type Store struct {
 	mu    sync.RWMutex
 	byID  map[string]*StoredGraph
 	order []string // registration order, for stable listings
+
+	backend store.Backend
 
 	// Read-path tallies (every Get; the unknown-fingerprint subset; the
 	// backend-fault subset). The store owns them so a serving surface's
@@ -48,21 +69,68 @@ type Store struct {
 	faults obs.Counter
 }
 
-// NewStore returns an empty graph store.
-func NewStore() *Store {
-	return &Store{byID: make(map[string]*StoredGraph)}
+// NewStore returns an empty graph store over an in-process backend.
+func NewStore() *Store { return NewStoreWith(store.NewMemory()) }
+
+// NewStoreWith returns an empty graph store writing through to the
+// given backend.
+func NewStoreWith(b store.Backend) *Store {
+	return &Store{byID: make(map[string]*StoredGraph), backend: b}
+}
+
+// encodeStoredGraph is the graph-blob wire form: a version byte, the
+// advisory name, the upload time, then the graph's binary encoding
+// (internal/graph codec).
+func encodeStoredGraph(sg *StoredGraph) []byte {
+	dst := []byte{1}
+	dst = binary.AppendUvarint(dst, uint64(len(sg.Name)))
+	dst = append(dst, sg.Name...)
+	dst = binary.AppendVarint(dst, sg.Uploaded.UnixNano())
+	return sg.G.AppendBinary(dst)
+}
+
+// decodeStoredGraph is encodeStoredGraph's inverse; id is the blob's
+// backend key (the content fingerprint it was stored under).
+func decodeStoredGraph(id string, blob []byte) (*StoredGraph, error) {
+	if len(blob) < 1 || blob[0] != 1 {
+		return nil, fmt.Errorf("serve: graph blob %s: unknown version", id)
+	}
+	p := blob[1:]
+	n, w := binary.Uvarint(p)
+	if w <= 0 || n > uint64(len(p)-w) {
+		return nil, fmt.Errorf("serve: graph blob %s: truncated name", id)
+	}
+	name := string(p[w : w+int(n)])
+	p = p[w+int(n):]
+	nanos, w := binary.Varint(p)
+	if w <= 0 {
+		return nil, fmt.Errorf("serve: graph blob %s: truncated timestamp", id)
+	}
+	g, err := graph.DecodeBinary(p[w:])
+	if err != nil {
+		return nil, fmt.Errorf("serve: graph blob %s: %w", id, err)
+	}
+	return &StoredGraph{
+		ID: id, Name: name,
+		Vertices: g.N(), Edges: g.M(),
+		Uploaded: time.Unix(0, nanos).UTC(),
+		G:        g,
+	}, nil
 }
 
 // Add registers a graph under its content fingerprint and returns the
 // stored record. If a graph with the same content is already registered,
 // the existing record is returned (its original name kept) and existed
-// is true.
-func (s *Store) Add(g *graph.Graph, name string) (sg *StoredGraph, existed bool) {
+// is true. The blob is written through to the durable backend before
+// the registry learns of it; a failed write returns an error wrapping
+// ErrPersist and registers nothing.
+func (s *Store) Add(g *graph.Graph, name string) (sg *StoredGraph, existed bool, err error) {
 	id := FingerprintGraph(g)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if prev, ok := s.byID[id]; ok {
-		return prev, true
+	s.mu.RLock()
+	prev, ok := s.byID[id]
+	s.mu.RUnlock()
+	if ok {
+		return prev, true, nil
 	}
 	sg = &StoredGraph{
 		ID: id, Name: name,
@@ -70,15 +138,62 @@ func (s *Store) Add(g *graph.Graph, name string) (sg *StoredGraph, existed bool)
 		Uploaded: time.Now().UTC(),
 		G:        g,
 	}
+	// Durable first, registered second — outside the lock: an fsync on
+	// the write-through must not block concurrent reads.
+	if perr := s.backend.Put(kindGraph, id, encodeStoredGraph(sg)); perr != nil {
+		return nil, false, fmt.Errorf("%w: %w", ErrPersist, perr)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.byID[id]; ok {
+		// A concurrent upload of the same content won the race; the extra
+		// backend Put was an idempotent overwrite of identical bytes.
+		return prev, true, nil
+	}
 	s.byID[id] = sg
 	s.order = append(s.order, id)
-	return sg, false
+	return sg, false, nil
+}
+
+// Recover rebuilds the registry from the durable backend: every graph
+// blob is decoded and its content fingerprint re-verified against the
+// key it was stored under — a mismatch means corruption (or a codec
+// drift) and fails recovery loudly rather than serving wrong bytes
+// under a trusted id. Call before serving traffic.
+func (s *Store) Recover() (int, error) {
+	keys, err := s.backend.List(kindGraph)
+	if err != nil {
+		return 0, fmt.Errorf("serve: recover graphs: %w", err)
+	}
+	recovered := 0
+	for _, id := range keys {
+		blob, err := s.backend.Get(kindGraph, id)
+		if err != nil {
+			return recovered, fmt.Errorf("serve: recover graph %s: %w", id, err)
+		}
+		sg, err := decodeStoredGraph(id, blob)
+		if err != nil {
+			return recovered, err
+		}
+		if fp := FingerprintGraph(sg.G); fp != id {
+			return recovered, fmt.Errorf("serve: recover graph %s: fingerprint mismatch (decoded %s)", id, fp)
+		}
+		s.mu.Lock()
+		if _, ok := s.byID[id]; !ok {
+			s.byID[id] = sg
+			s.order = append(s.order, id)
+			recovered++
+		}
+		s.mu.Unlock()
+	}
+	return recovered, nil
 }
 
 // ReadLG parses an LG-format graph from r and registers it. Malformed
 // input is rejected by the reader's validation (positional errors for
 // duplicate vertex ids, undefined edge endpoints, second headers) and
-// nothing is registered.
+// nothing is registered; a durable-tier write failure surfaces as an
+// error wrapping ErrPersist.
 func (s *Store) ReadLG(r io.Reader, fallbackName string) (sg *StoredGraph, existed bool, err error) {
 	g, name, err := graph.ReadLG(r)
 	if err != nil {
@@ -90,8 +205,7 @@ func (s *Store) ReadLG(r io.Reader, fallbackName string) (sg *StoredGraph, exist
 	if name == "" {
 		name = fallbackName
 	}
-	sg, existed = s.Add(g, name)
-	return sg, existed, nil
+	return s.Add(g, name)
 }
 
 // Get looks a graph up by fingerprint id. A miss returns an error

@@ -1,0 +1,284 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// reopen closes d and opens the same directory again.
+func reopen(t *testing.T, d *Disk) *Disk {
+	t.Helper()
+	dir := d.dir
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	nd, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatalf("OpenDisk(%s): %v", dir, err)
+	}
+	return nd
+}
+
+func TestDiskReopenRestoresEverything(t *testing.T) {
+	d, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := d.Put("graphs", fmt.Sprintf("g%d", i), bytes.Repeat([]byte{byte(i)}, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Delete("graphs", "g1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("results", "r0", []byte("result")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := d.Append([]byte(fmt.Sprintf("job-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	d = reopen(t, d) // clean Close → sidecar index path
+	defer d.Close()
+	if _, err := os.Stat(filepath.Join(d.dir, idxName)); err != nil {
+		t.Fatalf("sidecar index not written at Close: %v", err)
+	}
+	keys, _ := d.List("graphs")
+	if fmt.Sprint(keys) != "[g0 g2 g3]" {
+		t.Fatalf("graphs after reopen = %v, want [g0 g2 g3]", keys)
+	}
+	for _, k := range []string{"g0", "g2", "g3"} {
+		got, err := d.Get("graphs", k)
+		if err != nil {
+			t.Fatalf("Get(%s) after reopen: %v", k, err)
+		}
+		if len(got) != 64 {
+			t.Fatalf("Get(%s) = %d bytes, want 64", k, len(got))
+		}
+	}
+	if _, err := d.Get("graphs", "g1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted blob resurfaced after reopen: %v", err)
+	}
+	recs, err := d.Journal()
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("journal after reopen = %d records (%v), want 3", len(recs), err)
+	}
+	st := d.Stats()
+	if st.RecoveredBlobs != 4 || st.RecoveredJournalRecords != 3 {
+		t.Fatalf("recovery stats = %+v, want 4 blobs + 3 journal records", st)
+	}
+	if st.RecoveryTruncations != 0 {
+		t.Fatalf("clean reopen counted %d truncations, want 0", st.RecoveryTruncations)
+	}
+}
+
+// crash simulates a process dying without Close: the file handle is
+// closed directly, leaving whatever sidecar (if any) a previous clean
+// Close wrote — now stale.
+func crash(t *testing.T, d *Disk) string {
+	t.Helper()
+	if err := d.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return d.dir
+}
+
+func TestDiskCrashWithoutCloseScansLog(t *testing.T) {
+	d, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("g", "a", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	d = reopen(t, d) // writes a sidecar at size S
+	if err := d.Put("g", "b", []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	dir := crash(t, d) // sidecar now stale (describes size S, log is larger)
+
+	nd, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	keys, _ := nd.List("g")
+	if fmt.Sprint(keys) != "[a b]" {
+		t.Fatalf("after crash-reopen List = %v, want [a b] (stale sidecar must be ignored)", keys)
+	}
+	if got, err := nd.Get("g", "b"); err != nil || string(got) != "two" {
+		t.Fatalf("Get(b) = %q, %v", got, err)
+	}
+}
+
+func TestDiskTornTailTruncated(t *testing.T) {
+	d, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := d.Put("g", fmt.Sprintf("k%d", i), bytes.Repeat([]byte("x"), 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	goodSize := d.size
+	dir := crash(t, d)
+
+	// Simulate a crash mid-append: a frame header claiming a payload the
+	// write never finished.
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := make([]byte, frameHeaderSize+7)
+	copy(torn, []byte{0x53, 0x50, 0x46, 0x52}) // valid magic ("SPFR")
+	torn[4] = 200                              // claims a 200-byte payload; only 7 follow
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	nd, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatalf("OpenDisk over torn tail: %v", err)
+	}
+	defer nd.Close()
+	if got := nd.Stats().RecoveryTruncations; got != 1 {
+		t.Fatalf("RecoveryTruncations = %d, want 1", got)
+	}
+	if nd.size != goodSize {
+		t.Fatalf("recovered size = %d, want %d (torn tail truncated)", nd.size, goodSize)
+	}
+	keys, _ := nd.List("g")
+	if len(keys) != 3 {
+		t.Fatalf("List after torn-tail recovery = %v, want 3 intact blobs", keys)
+	}
+	// The log is writable again and a further reopen is clean.
+	if err := nd.Put("g", "k3", []byte("after")); err != nil {
+		t.Fatalf("Put after recovery: %v", err)
+	}
+	nd = reopen(t, nd)
+	defer nd.Close()
+	if got := nd.Stats().RecoveryTruncations; got != 0 {
+		t.Fatalf("second reopen counted %d truncations, want 0", got)
+	}
+	if got, err := nd.Get("g", "k3"); err != nil || string(got) != "after" {
+		t.Fatalf("Get(k3) = %q, %v", got, err)
+	}
+}
+
+func TestDiskTornTailMidFrame(t *testing.T) {
+	d, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("g", "keep", []byte("intact")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("g", "lost", bytes.Repeat([]byte("y"), 500)); err != nil {
+		t.Fatal(err)
+	}
+	truncAt := d.size - 5 // tear the last frame's final bytes off
+	dir := crash(t, d)
+	if err := os.Truncate(filepath.Join(dir, logName), truncAt); err != nil {
+		t.Fatal(err)
+	}
+
+	nd, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	if got := nd.Stats().RecoveryTruncations; got != 1 {
+		t.Fatalf("RecoveryTruncations = %d, want 1", got)
+	}
+	if got, err := nd.Get("g", "keep"); err != nil || string(got) != "intact" {
+		t.Fatalf("intact prefix lost: Get(keep) = %q, %v", got, err)
+	}
+	if _, err := nd.Get("g", "lost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("torn blob must be gone, got %v", err)
+	}
+}
+
+func TestDiskCorruptSidecarFallsBackToScan(t *testing.T) {
+	d, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("g", "a", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	d = reopen(t, d)
+	dir := crash(t, d)
+	if err := os.WriteFile(filepath.Join(dir, idxName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	nd, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatalf("OpenDisk with corrupt sidecar: %v", err)
+	}
+	defer nd.Close()
+	if got, err := nd.Get("g", "a"); err != nil || string(got) != "data" {
+		t.Fatalf("Get after corrupt-sidecar fallback = %q, %v", got, err)
+	}
+}
+
+func TestDiskFailpoints(t *testing.T) {
+	defer fault.DisarmAll()
+	d, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Put("g", "a", []byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+
+	fpDiskPut.Arm(fault.Spec{Kind: fault.KindError, Msg: "injected put"})
+	if err := d.Put("g", "b", []byte("x")); !fault.IsInjected(err) {
+		t.Fatalf("Put under store/disk/put: want injected error, got %v", err)
+	}
+	if err := d.Append([]byte("rec")); !fault.IsInjected(err) {
+		t.Fatalf("Append under store/disk/put: want injected error, got %v", err)
+	}
+	fpDiskPut.Disarm()
+
+	fpDiskGet.Arm(fault.Spec{Kind: fault.KindError, Msg: "injected get"})
+	if _, err := d.Get("g", "a"); !fault.IsInjected(err) {
+		t.Fatalf("Get under store/disk/get: want injected error, got %v", err)
+	}
+	if _, err := d.Journal(); !fault.IsInjected(err) {
+		t.Fatalf("Journal under store/disk/get: want injected error, got %v", err)
+	}
+	fpDiskGet.Disarm()
+
+	// A sync fault fails the mutation without advancing the committed
+	// size: the index never learns of the blob, and the next successful
+	// append overwrites the torn bytes.
+	fpDiskSync.Arm(fault.Spec{Kind: fault.KindError, Msg: "injected sync"})
+	if err := d.Put("g", "c", []byte("y")); !fault.IsInjected(err) {
+		t.Fatalf("Put under store/disk/sync: want injected error, got %v", err)
+	}
+	fpDiskSync.Disarm()
+	if _, err := d.Get("g", "c"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("blob committed despite failed sync: %v", err)
+	}
+	if err := d.Put("g", "c", []byte("y2")); err != nil {
+		t.Fatalf("Put after sync fault cleared: %v", err)
+	}
+	if got, err := d.Get("g", "c"); err != nil || string(got) != "y2" {
+		t.Fatalf("Get(c) = %q, %v", got, err)
+	}
+	if got, err := d.Get("g", "a"); err != nil || string(got) != "pre" {
+		t.Fatalf("pre-fault blob damaged: %q, %v", got, err)
+	}
+}

@@ -1,0 +1,156 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Memory is the in-process Backend: the serving layer's original maps
+// refactored behind the interface. It is the default when no -data-dir
+// is configured — zero behavior change, nothing survives the process.
+type Memory struct {
+	mu      sync.Mutex
+	kinds   map[string]*memKind
+	journal [][]byte
+
+	stats backendStats
+}
+
+type memKind struct {
+	blobs map[string][]byte
+	order []string
+}
+
+// NewMemory returns an empty in-process backend.
+func NewMemory() *Memory {
+	return &Memory{kinds: make(map[string]*memKind)}
+}
+
+// backendStats is the shared counter block behind Stats(): wait-free
+// atomics so hot paths never serialize on a stats lock.
+type backendStats struct {
+	puts, gets, deletes, appends atomic.Uint64
+	bytesWritten, bytesRead      atomic.Uint64
+	fsyncs                       atomic.Uint64
+	recoveryTruncations          atomic.Uint64
+	recoveredBlobs               atomic.Uint64
+	recoveredJournal             atomic.Uint64
+}
+
+func (s *backendStats) snapshot() Stats {
+	return Stats{
+		Puts:                    s.puts.Load(),
+		Gets:                    s.gets.Load(),
+		Deletes:                 s.deletes.Load(),
+		JournalAppends:          s.appends.Load(),
+		BytesWritten:            s.bytesWritten.Load(),
+		BytesRead:               s.bytesRead.Load(),
+		Fsyncs:                  s.fsyncs.Load(),
+		RecoveryTruncations:     s.recoveryTruncations.Load(),
+		RecoveredBlobs:          s.recoveredBlobs.Load(),
+		RecoveredJournalRecords: s.recoveredJournal.Load(),
+	}
+}
+
+func (m *Memory) kind(name string) *memKind {
+	k, ok := m.kinds[name]
+	if !ok {
+		k = &memKind{blobs: make(map[string][]byte)}
+		m.kinds[name] = k
+	}
+	return k
+}
+
+// Put stores a copy of data under (kind, key).
+func (m *Memory) Put(kind, key string, data []byte) error {
+	cp := append([]byte(nil), data...)
+	m.mu.Lock()
+	k := m.kind(kind)
+	if _, existed := k.blobs[key]; !existed {
+		k.order = append(k.order, key)
+	}
+	k.blobs[key] = cp
+	m.mu.Unlock()
+	m.stats.puts.Add(1)
+	m.stats.bytesWritten.Add(uint64(len(data)))
+	return nil
+}
+
+// Get returns the blob under (kind, key). The returned slice is shared
+// with the store and must not be modified.
+func (m *Memory) Get(kind, key string) ([]byte, error) {
+	m.mu.Lock()
+	var (
+		data []byte
+		ok   bool
+	)
+	if k, has := m.kinds[kind]; has {
+		data, ok = k.blobs[key]
+	}
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, kind, key)
+	}
+	m.stats.gets.Add(1)
+	m.stats.bytesRead.Add(uint64(len(data)))
+	return data, nil
+}
+
+// List returns the keys of a kind in first-Put order.
+func (m *Memory) List(kind string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k, ok := m.kinds[kind]
+	if !ok {
+		return nil, nil
+	}
+	return append([]string(nil), k.order...), nil
+}
+
+// Delete removes the blob under (kind, key).
+func (m *Memory) Delete(kind, key string) error {
+	m.mu.Lock()
+	if k, ok := m.kinds[kind]; ok {
+		if _, existed := k.blobs[key]; existed {
+			delete(k.blobs, key)
+			for i, id := range k.order {
+				if id == key {
+					k.order = append(k.order[:i], k.order[i+1:]...)
+					break
+				}
+			}
+			m.stats.deletes.Add(1)
+		}
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+// Append adds one record (copied) to the journal.
+func (m *Memory) Append(rec []byte) error {
+	cp := append([]byte(nil), rec...)
+	m.mu.Lock()
+	m.journal = append(m.journal, cp)
+	m.mu.Unlock()
+	m.stats.appends.Add(1)
+	m.stats.bytesWritten.Add(uint64(len(rec)))
+	return nil
+}
+
+// Journal returns the journal records in append order. The records are
+// shared with the store and must not be modified.
+func (m *Memory) Journal() ([][]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([][]byte(nil), m.journal...), nil
+}
+
+// Sync is a no-op: process memory has no medium to flush to.
+func (m *Memory) Sync() error { return nil }
+
+// Close is a no-op.
+func (m *Memory) Close() error { return nil }
+
+// Stats snapshots the backend's I/O counters.
+func (m *Memory) Stats() Stats { return m.stats.snapshot() }

@@ -1,0 +1,201 @@
+package mine
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// Versioned binary codec for Results — the wire form the serving
+// layer's persistent result cache stores mined artifacts in
+// (internal/store). A Result round-trips exactly: miner name,
+// truncation reason, Stats, and every pattern with its graph (via the
+// graph binary codec), identity fields, and full embedding list. The
+// per-pattern caches (invariant hash, canonical code) are derived state
+// and recompute lazily on the decoded copy.
+//
+// The format is versioned by the magic: any change to the field set or
+// encoding must introduce a new magic so stale cache blobs can never
+// decode under a different interpretation.
+
+// resultMagic identifies version 1 of the binary Result encoding.
+var resultMagic = [4]byte{'S', 'P', 'R', '1'}
+
+// ErrBadResultCodec reports bytes that are not a valid encoded Result.
+var ErrBadResultCodec = errors.New("mine: bad binary result encoding")
+
+// EncodeResult returns the binary encoding of res.
+func EncodeResult(res *Result) ([]byte, error) {
+	if res == nil {
+		return nil, fmt.Errorf("mine: EncodeResult(nil)")
+	}
+	statsJSON, err := json.Marshal(res.Stats)
+	if err != nil {
+		return nil, fmt.Errorf("mine: EncodeResult stats: %w", err)
+	}
+	dst := append([]byte(nil), resultMagic[:]...)
+	appendBytes := func(b []byte) {
+		dst = binary.AppendUvarint(dst, uint64(len(b)))
+		dst = append(dst, b...)
+	}
+	appendBytes([]byte(res.Miner))
+	appendBytes([]byte(res.Truncated))
+	appendBytes(statsJSON)
+	dst = binary.AppendUvarint(dst, uint64(len(res.Patterns)))
+	var gbuf []byte
+	for i, p := range res.Patterns {
+		if p == nil || p.G == nil {
+			return nil, fmt.Errorf("mine: EncodeResult: nil pattern at index %d", i)
+		}
+		gbuf = p.G.AppendBinary(gbuf[:0])
+		appendBytes(gbuf)
+		dst = binary.AppendVarint(dst, int64(p.ID))
+		dst = binary.AppendVarint(dst, int64(p.Origin))
+		if p.Merged {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		nv := p.NV()
+		dst = binary.AppendUvarint(dst, uint64(len(p.Emb)))
+		for _, e := range p.Emb {
+			if len(e) != nv {
+				return nil, fmt.Errorf("mine: EncodeResult: embedding arity %d != %d vertices (pattern %d)", len(e), nv, i)
+			}
+			for _, hv := range e {
+				dst = binary.AppendUvarint(dst, uint64(uint32(hv)))
+			}
+		}
+	}
+	return dst, nil
+}
+
+// DecodeResult rebuilds a Result from its binary encoding. Pattern
+// graphs decode through graph.DecodeBinary (full structural
+// validation); embeddings are checked for arity only — host-vertex
+// range is the caller's to verify against its host, if it has one.
+func DecodeResult(data []byte) (*Result, error) {
+	if len(data) < len(resultMagic) || [4]byte(data[:4]) != resultMagic {
+		return nil, fmt.Errorf("%w: missing %q magic", ErrBadResultCodec, resultMagic)
+	}
+	p := data[4:]
+	readUvarint := func() (uint64, error) {
+		v, w := binary.Uvarint(p)
+		if w <= 0 {
+			return 0, fmt.Errorf("%w: truncated varint", ErrBadResultCodec)
+		}
+		p = p[w:]
+		return v, nil
+	}
+	readVarint := func() (int64, error) {
+		v, w := binary.Varint(p)
+		if w <= 0 {
+			return 0, fmt.Errorf("%w: truncated varint", ErrBadResultCodec)
+		}
+		p = p[w:]
+		return v, nil
+	}
+	readBytes := func() ([]byte, error) {
+		n, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(p)) {
+			return nil, fmt.Errorf("%w: truncated byte field", ErrBadResultCodec)
+		}
+		b := p[:n]
+		p = p[n:]
+		return b, nil
+	}
+
+	res := &Result{}
+	miner, err := readBytes()
+	if err != nil {
+		return nil, err
+	}
+	res.Miner = string(miner)
+	trunc, err := readBytes()
+	if err != nil {
+		return nil, err
+	}
+	res.Truncated = Truncation(trunc)
+	statsJSON, err := readBytes()
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(statsJSON, &res.Stats); err != nil {
+		return nil, fmt.Errorf("%w: stats: %v", ErrBadResultCodec, err)
+	}
+	np, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if np > uint64(len(p)) { // each pattern costs ≥ 1 byte
+		return nil, fmt.Errorf("%w: implausible pattern count %d", ErrBadResultCodec, np)
+	}
+	res.Patterns = make([]*Pattern, 0, np)
+	for i := uint64(0); i < np; i++ {
+		gblob, err := readBytes()
+		if err != nil {
+			return nil, err
+		}
+		g, err := graph.DecodeBinary(gblob)
+		if err != nil {
+			return nil, fmt.Errorf("%w: pattern %d graph: %v", ErrBadResultCodec, i, err)
+		}
+		id, err := readVarint()
+		if err != nil {
+			return nil, err
+		}
+		origin, err := readVarint()
+		if err != nil {
+			return nil, err
+		}
+		if len(p) < 1 {
+			return nil, fmt.Errorf("%w: truncated pattern %d", ErrBadResultCodec, i)
+		}
+		merged := p[0] != 0
+		p = p[1:]
+		ne, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if origin < -1 || origin >= int64(g.N()) {
+			return nil, fmt.Errorf("%w: origin %d out of range (pattern %d)", ErrBadResultCodec, origin, i)
+		}
+		nv := uint64(g.N())
+		// Each embedding costs at least nv bytes (one byte per uvarint),
+		// so a count past that is corrupt — reject before allocating.
+		if nv > 0 && ne > uint64(len(p))/nv+1 || nv == 0 && ne > uint64(len(p))+1 {
+			return nil, fmt.Errorf("%w: implausible embedding count %d (pattern %d)", ErrBadResultCodec, ne, i)
+		}
+		embs := make([]Embedding, 0, ne)
+		for j := uint64(0); j < ne; j++ {
+			e := make(Embedding, nv)
+			for k := range e {
+				hv, err := readUvarint()
+				if err != nil {
+					return nil, err
+				}
+				if hv > 1<<31-1 {
+					return nil, fmt.Errorf("%w: host vertex %d out of range", ErrBadResultCodec, hv)
+				}
+				e[k] = graph.V(hv)
+			}
+			embs = append(embs, e)
+		}
+		pat := pattern.New(g, embs)
+		pat.ID = int(id)
+		pat.Origin = graph.V(origin)
+		pat.Merged = merged
+		res.Patterns = append(res.Patterns, pat)
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadResultCodec, len(p))
+	}
+	return res, nil
+}
