@@ -13,11 +13,14 @@ package repro_test
 import (
 	"fmt"
 	"io"
+	"math/rand"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/spider"
 	"repro/internal/spidermine"
 )
@@ -166,6 +169,60 @@ func BenchmarkFullPipelineParallel(b *testing.B) {
 			}
 			b.ReportMetric(float64(seqPerOp)/(float64(b.Elapsed())/float64(b.N)), "speedup")
 		})
+	}
+}
+
+// BenchmarkFullPipelineMapped is BenchmarkFullPipelineGID1 with the
+// host opened from an mmap'd SPC1 image instead of RAM — the
+// mapped-vs-RAM delta of the full pipeline (README §Out-of-core). The
+// open happens once outside the loop, mirroring the RAM benchmark's
+// one-time Build.
+func BenchmarkFullPipelineMapped(b *testing.B) {
+	g, _ := gen.Synthetic(gen.GIDConfig(1, 1))
+	path := filepath.Join(b.TempDir(), "gid1.spc1")
+	if err := graph.WriteImageFile(g, path); err != nil {
+		b.Fatal(err)
+	}
+	m, err := graph.OpenMapped(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	mg := m.Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := spidermine.Mine(mg, spidermine.Config{MinSupport: 2, K: 10, Dmax: 4, Seed: int64(i)})
+		if len(res.Patterns) == 0 {
+			b.Fatal("no patterns")
+		}
+	}
+}
+
+// BenchmarkStageIOutOfCoreBA1M runs Stage I over a million-edge
+// scale-free host opened by mmap — the out-of-core data point for
+// BENCH_PR10.json (run with -benchtime=1x; generation dominates setup).
+func BenchmarkStageIOutOfCoreBA1M(b *testing.B) {
+	g := gen.BarabasiAlbert(126000, 8, 50, rand.New(rand.NewSource(1)))
+	path := filepath.Join(b.TempDir(), "ba1m.spc1")
+	if err := graph.WriteImageFile(g, path); err != nil {
+		b.Fatal(err)
+	}
+	g = nil
+	m, err := graph.OpenMapped(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	mg := m.Graph()
+	if mg.M() < 1_000_000 {
+		b.Fatalf("host has %d edges, want >= 1e6", mg.M())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stars := spider.MineStars(mg, spider.Options{MinSupport: 2, MaxLeaves: 2, MaxSpiders: 20000})
+		if len(stars) == 0 {
+			b.Fatal("no stars")
+		}
 	}
 }
 

@@ -7,6 +7,7 @@
 //	spidermine -in graph.lg -k 10 -support 2 -dmax 6 -epsilon 0.1
 //	spidermine -in graph.lg -miner subdue -support 3
 //	spidermine -in graph.lg -timeout 30s        # exit 1 if exceeded
+//	spidermine -mmap -in host.spc1 -k 10        # mmap'd SPC1 image, no decode
 //	spidermine -list-miners
 //
 // Each returned pattern is printed as an LG block plus a summary line; add
@@ -41,6 +42,7 @@ func main() {
 func run() int {
 	var (
 		in         = flag.String("in", "", "input graph file in LG format (required; - for stdin)")
+		useMmap    = flag.Bool("mmap", false, "treat -in as an SPC1 graph image (gengraph -format spc1) and mmap it instead of decoding: O(1) open, mining reads from the page cache, hosts larger than RAM work")
 		minerName  = flag.String("miner", "spidermine", "mining engine (see -list-miners)")
 		listMiners = flag.Bool("list-miners", false, "list registered miners and exit")
 		timeout    = flag.Duration("timeout", 0, "abort mining after this long and exit non-zero (0 = no limit)")
@@ -80,9 +82,22 @@ func run() int {
 		name string
 		err  error
 	)
-	if *in == "-" {
+	switch {
+	case *useMmap:
+		if *in == "-" {
+			return fail(errors.New("-mmap needs a seekable file, not stdin"))
+		}
+		m, merr := mine.OpenMapped(*in)
+		if merr != nil {
+			return fail(merr)
+		}
+		// The mapping must outlive mining and printing; run returns
+		// through a single path, so the defer covers every exit.
+		defer m.Close()
+		g, name = m.Graph(), *in
+	case *in == "-":
 		g, name, err = mine.ReadLG(os.Stdin)
-	} else {
+	default:
 		f, ferr := os.Open(*in)
 		if ferr != nil {
 			return fail(ferr)

@@ -72,6 +72,7 @@ func run() int {
 		retryB   = flag.Duration("retry-base", 100*time.Millisecond, "first retry backoff; doubles per attempt (jittered, capped at 5s)")
 		debug    = flag.String("debug-addr", "", "optional net/http/pprof listen address (e.g. localhost:6060); empty disables")
 		dataDir  = flag.String("data-dir", "", "directory for the durable storage engine; empty serves in-memory only")
+		imgEdges = flag.Int("image-edges", 0, "edge count past which uploaded hosts also persist an SPC1 image (mmap'd back on restart); 0 = default (1M), negative disables")
 	)
 	flag.Parse()
 
@@ -109,6 +110,7 @@ func run() int {
 	cfg := serve.Config{
 		Runners: *runners, QueueCap: *queueCap, CacheCap: *cacheCap,
 		MaxRetries: *retries, RetryBase: *retryB,
+		ImageEdgeThreshold: *imgEdges,
 	}
 	var backend *store.Disk
 	if *dataDir != "" {
@@ -127,8 +129,8 @@ func run() int {
 	}
 	if backend != nil {
 		st := backend.Stats()
-		fmt.Fprintf(os.Stderr, "spiderserved: data-dir %s: recovered %d graphs, %d job records (log truncations: %d)\n",
-			*dataDir, recovered.Graphs, recovered.Jobs, st.RecoveryTruncations)
+		fmt.Fprintf(os.Stderr, "spiderserved: data-dir %s: recovered %d graphs (%d mmap'd), %d job records (log truncations: %d)\n",
+			*dataDir, recovered.Graphs, recovered.Mapped, recovered.Jobs, st.RecoveryTruncations)
 	}
 	httpSrv := &http.Server{Handler: srv}
 
@@ -168,6 +170,11 @@ func run() int {
 	// Close the storage engine after the drain: every terminal job has
 	// journaled by now, and Close writes the sidecar index that makes the
 	// next start's recovery O(1) instead of a full log scan.
+	// Unmap recovered graph images before the backend goes away; the
+	// drain above guarantees no job still reads them.
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "spiderserved: unmap: %v\n", err)
+	}
 	if backend != nil {
 		if err := backend.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "spiderserved: store close: %v\n", err)

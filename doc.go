@@ -76,6 +76,32 @@
 // cache degradation on reads — never a 404, never a dead daemon
 // (persist_test.go asserts this through the HTTP surface).
 //
+// # Out-of-core
+//
+// internal/graph additionally defines SPC1, a versioned flat CSR image
+// format (graph.WriteImage / graph.OpenMapped): a fixed 128-byte header
+// with per-section CRC-32C descriptors, then 8-aligned sections holding
+// the graph's label, offset, neighbor and sketch arrays exactly as the
+// in-RAM representation lays them out. OpenMapped mmaps the file and
+// aliases the Graph's slices onto the mapping — zero decode, O(1)
+// allocations, page-cache-resident adjacency — so hosts beyond RAM mine
+// with flat heap growth, byte-identically to their built twins at every
+// worker count (TestMappedEqualsBuilt, TestOutOfCoreMillionEdge at the
+// repo root are the enforcing gates; FuzzOpenImage holds the
+// hostile-input never-panic line). Verification is two-tier: OpenMapped
+// runs an allocation-free streaming validation of checksums, CSR
+// monotonicity, neighbor order, adjacency symmetry and sketches;
+// OpenMappedTrusted skips it (O(1)) for images already verified.
+// Platforms without mmap fall back to a heap read transparently, and
+// Clone always deep-copies a mapped graph onto the heap. The serving
+// layer write-throughs an SPC1 image for hosts past
+// serve.DefaultImageEdgeThreshold into the store's file tier
+// (store.FileBackend, implemented by store.Disk) and recovery remaps it
+// — fingerprint-re-verified, falling back to SPG1 decode and rebuilding
+// the image if it is missing or corrupt. The mine façade re-exports the
+// open functions (mine.OpenMapped); cmd/gengraph -format spc1 writes
+// images, and cmd/spidermine / cmd/spiderbench take -mmap.
+//
 // # Failure semantics
 //
 // The serving layer degrades, never corrupts (README §Failure semantics

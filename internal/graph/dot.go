@@ -20,9 +20,13 @@ func (g *Graph) WriteDOT(w io.Writer, name string) error {
 			return err
 		}
 	}
-	for _, e := range g.Edges() {
-		if _, err := fmt.Fprintf(bw, "  n%d -- n%d;\n", e.U, e.W); err != nil {
-			return err
+	for u := 0; u < g.N(); u++ {
+		for _, x := range g.Neighbors(V(u)) {
+			if V(u) < x {
+				if _, err := fmt.Fprintf(bw, "  n%d -- n%d;\n", u, x); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	if _, err := fmt.Fprintln(bw, "}"); err != nil {

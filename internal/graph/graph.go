@@ -111,16 +111,26 @@ func (g *Graph) HasEdge(u, w V) bool {
 }
 
 // Edges returns all edges with U < W, sorted lexicographically.
+// Each call allocates a fresh m-entry slice; hot or large-graph callers
+// should use AppendEdges with a reused buffer (or iterate Neighbors
+// directly) instead of doubling the edge memory per call.
 func (g *Graph) Edges() []Edge {
-	out := make([]Edge, 0, g.m)
+	return g.AppendEdges(make([]Edge, 0, g.m))
+}
+
+// AppendEdges appends all edges with U < W, sorted lexicographically, to
+// dst and returns the extended slice. It is the allocation-controlled
+// variant of Edges: pass a buffer with m spare capacity and no allocation
+// happens at all.
+func (g *Graph) AppendEdges(dst []Edge) []Edge {
 	for u := 0; u < len(g.labels); u++ {
-		for _, w := range g.Neighbors(V(u)) {
+		for _, w := range g.nbrs[g.offs[u]:g.offs[u+1]] {
 			if V(u) < w {
-				out = append(out, Edge{V(u), w})
+				dst = append(dst, Edge{V(u), w})
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // MaxDegree returns the maximum vertex degree, or 0 for the empty graph.

@@ -27,9 +27,16 @@ func (g *Graph) WriteLG(w io.Writer, name string) error {
 			return err
 		}
 	}
-	for _, e := range g.Edges() {
-		if _, err := fmt.Fprintf(bw, "e %d %d\n", e.U, e.W); err != nil {
-			return err
+	// Stream edges straight off the CSR (same U < W lexicographic order
+	// Edges produces) rather than materializing the edge list: encoding a
+	// large host must not allocate a second copy of its adjacency.
+	for u := 0; u < g.N(); u++ {
+		for _, x := range g.Neighbors(V(u)) {
+			if V(u) < x {
+				if _, err := fmt.Fprintf(bw, "e %d %d\n", u, x); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	return bw.Flush()

@@ -1,0 +1,21 @@
+//go:build !(linux || darwin)
+
+package graph
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported is false here: OpenMapped reads the whole image onto the
+// heap instead (same validation, same graph, no aliasing) — the
+// read-everything fallback for platforms without a usable mmap.
+const mmapSupported = false
+
+var errNoMmap = errors.New("graph: mmap not supported on this platform")
+
+func mmapBytes(f *os.File, size int) ([]byte, error) { return nil, errNoMmap }
+
+func munmapBytes(b []byte) error { return nil }
+
+func madviseBytes(b []byte, a Advice) error { return nil }

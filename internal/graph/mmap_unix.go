@@ -1,0 +1,37 @@
+//go:build linux || darwin
+
+package graph
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy open path; platforms without it use
+// the read-everything fallback in image.go.
+const mmapSupported = true
+
+// mmapBytes maps size bytes of f read-only. The mapping is page-aligned
+// by construction, which is what lets the SPC1 sections alias as int32/
+// uint64 slices.
+func mmapBytes(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapBytes releases a mapping obtained from mmapBytes.
+func munmapBytes(b []byte) error { return syscall.Munmap(b) }
+
+// madviseBytes forwards an access-pattern hint to the kernel.
+// Best-effort: callers may ignore the error.
+func madviseBytes(b []byte, a Advice) error {
+	adv := syscall.MADV_NORMAL
+	switch a {
+	case AdviceRandom:
+		adv = syscall.MADV_RANDOM
+	case AdviceSequential:
+		adv = syscall.MADV_SEQUENTIAL
+	case AdviceWillNeed:
+		adv = syscall.MADV_WILLNEED
+	}
+	return syscall.Madvise(b, adv)
+}

@@ -65,8 +65,15 @@ func FingerprintGraph(g *graph.Graph) string {
 	for _, l := range g.Labels() {
 		d.mix(uint64(uint32(l)))
 	}
-	for _, e := range g.Edges() {
-		d.mix(uint64(uint32(e.U))<<32 | uint64(uint32(e.W)))
+	// Stream the U < W edge list straight off the CSR — identical token
+	// order to ranging over g.Edges(), without materializing a second
+	// copy of a large host's adjacency just to hash it.
+	for u := 0; u < g.N(); u++ {
+		for _, w := range g.Neighbors(graph.V(u)) {
+			if graph.V(u) < w {
+				d.mix(uint64(uint32(u))<<32 | uint64(uint32(w)))
+			}
+		}
 	}
 	return d.hex()
 }

@@ -417,7 +417,7 @@ func TestRecoverRejectsTamperedGraph(t *testing.T) {
 	if err := backend.Put("graphs", "0123456789abcdef0123456789abcdef", blob); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewStoreWith(backend).Recover(); err == nil || !strings.Contains(err.Error(), "fingerprint mismatch") {
+	if _, _, err := NewStoreWith(backend).Recover(); err == nil || !strings.Contains(err.Error(), "fingerprint mismatch") {
 		t.Fatalf("Recover accepted a tampered blob (err %v)", err)
 	}
 }

@@ -38,6 +38,13 @@ type Config struct {
 	// RetryBase seeds the exponential retry backoff (doubled per
 	// attempt, jittered, capped at 5s); <= 0 means the 100ms default.
 	RetryBase time.Duration
+	// ImageEdgeThreshold is the edge count past which uploaded hosts also
+	// persist an SPC1 image to the backend's file tier, letting recovery
+	// mmap them back in O(1) instead of re-decoding (see the package
+	// doc's Out-of-core notes). 0 means DefaultImageEdgeThreshold;
+	// negative disables image persistence. Ignored when the backend has
+	// no file tier (store.FileBackend).
+	ImageEdgeThreshold int
 	// Backend, when set, is the durable storage engine (internal/store):
 	// uploaded graphs and cacheable results write through to it, and
 	// terminal job records are journaled, so a restart over the same
@@ -96,6 +103,9 @@ func New(cfg Config) *Server {
 		persistent: persistent,
 		maxUpload:  cfg.MaxUploadBytes,
 	}
+	if cfg.ImageEdgeThreshold != 0 {
+		s.store.SetImageEdgeThreshold(cfg.ImageEdgeThreshold)
+	}
 	if persistent {
 		s.cache = NewCacheWith(cfg.CacheCap, backend)
 	} else {
@@ -152,6 +162,7 @@ func Open(cfg Config) (*Server, RecoveryStats, error) {
 // RecoveryStats reports what a Recover pass restored from the backend.
 type RecoveryStats struct {
 	Graphs int // graphs re-registered (fingerprints re-verified)
+	Mapped int // of those, served by mmap'ing an SPC1 image (zero decode)
 	Jobs   int // terminal job records replayed into /jobs history
 }
 
@@ -165,8 +176,8 @@ func (s *Server) Recover() (RecoveryStats, error) {
 	if !s.persistent {
 		return rs, nil
 	}
-	n, err := s.store.Recover()
-	rs.Graphs = n
+	n, mapped, err := s.store.Recover()
+	rs.Graphs, rs.Mapped = n, mapped
 	if err != nil {
 		return rs, err
 	}
@@ -191,6 +202,11 @@ func (s *Server) Scheduler() *Scheduler { return s.sched }
 // ctx fires, then in-flight jobs are cancelled into committed partials.
 // Callers should stop HTTP intake (http.Server.Shutdown) alongside.
 func (s *Server) Shutdown(ctx context.Context) { s.sched.Shutdown(ctx) }
+
+// Close releases resources held after Shutdown — today the mmap'd graph
+// images recovery opened. Call only once no job can still read a mapped
+// graph (i.e. after Shutdown has drained).
+func (s *Server) Close() error { return s.store.Close() }
 
 // writeJSON writes a JSON response body. An Encode failure cannot be
 // reported to the client (the status line is gone by then) so it is

@@ -32,7 +32,17 @@ var ErrPersist = errors.New("serve: persistent store write failed")
 const (
 	kindGraph  = "graphs"
 	kindResult = "results"
+	// kindImage is the file-tier namespace for SPC1 graph images (see
+	// store.FileBackend): whole files alongside the log, mmap'd back at
+	// recovery so large hosts reopen in O(1) instead of re-decoding.
+	kindImage = "images"
 )
+
+// DefaultImageEdgeThreshold is the edge count past which an uploaded
+// host also gets an SPC1 image in the backend's file tier (when the
+// backend has one). Below it the SPG1 blob decode is already cheap and
+// the extra file would just double small hosts' disk footprint.
+const DefaultImageEdgeThreshold = 1 << 20
 
 // StoredGraph is one registered host graph. ID is the content
 // fingerprint (FingerprintGraph), so a graph uploaded twice — under any
@@ -61,6 +71,20 @@ type Store struct {
 
 	backend store.Backend
 
+	// files is the backend's optional whole-file tier (feature-tested at
+	// construction); imageEdges is the edge count at which uploads write
+	// an SPC1 image through it (0 disables). mapped tracks the mmap
+	// handles Recover opened so Close can unmap them.
+	files      store.FileBackend
+	imageEdges int
+	mapped     []*graph.Mapped
+
+	// imageWrites / imageErrs tally best-effort image persistence: a
+	// failed image write never fails the upload (the SPG1 blob is the
+	// durable copy), so the error count is the only trace.
+	imageWrites obs.Counter
+	imageErrs   obs.Counter
+
 	// Read-path tallies (every Get; the unknown-fingerprint subset; the
 	// backend-fault subset). The store owns them so a serving surface's
 	// /metrics reads the same numbers the store itself saw.
@@ -75,8 +99,62 @@ func NewStore() *Store { return NewStoreWith(store.NewMemory()) }
 // NewStoreWith returns an empty graph store writing through to the
 // given backend.
 func NewStoreWith(b store.Backend) *Store {
-	return &Store{byID: make(map[string]*StoredGraph), backend: b}
+	s := &Store{byID: make(map[string]*StoredGraph), backend: b}
+	s.files, _ = b.(store.FileBackend)
+	if s.files != nil {
+		s.imageEdges = DefaultImageEdgeThreshold
+	}
+	return s
 }
+
+// SetImageEdgeThreshold overrides the edge count at which uploads also
+// persist an SPC1 image to the backend's file tier; <= 0 disables image
+// persistence. A no-op threshold change on a backend without a file
+// tier stays a no-op.
+func (s *Store) SetImageEdgeThreshold(edges int) {
+	if edges <= 0 {
+		s.imageEdges = 0
+		return
+	}
+	s.imageEdges = edges
+}
+
+// Close unmaps every graph Recover opened via mmap. The store must not
+// be read concurrently with or after Close — mapped graphs' memory is
+// gone once unmapped.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	for _, m := range s.mapped {
+		if cerr := m.Close(); err == nil {
+			err = cerr
+		}
+	}
+	s.mapped = nil
+	return err
+}
+
+// putImage best-effort persists g's SPC1 image to the file tier when
+// the graph is past the threshold. Never fails the caller: the SPG1
+// blob in the log is the durable copy, the image is an open-time
+// optimization recreated on the next upload or recovery if lost.
+func (s *Store) putImage(id string, g *graph.Graph) {
+	if s.files == nil || s.imageEdges <= 0 || g.M() < s.imageEdges {
+		return
+	}
+	if err := s.files.PutFile(kindImage, id, imageWriterTo{g}); err != nil {
+		s.imageErrs.Inc()
+		return
+	}
+	s.imageWrites.Inc()
+}
+
+// imageWriterTo adapts Graph.WriteImage to io.WriterTo for
+// store.FileBackend.PutFile.
+type imageWriterTo struct{ g *graph.Graph }
+
+func (w imageWriterTo) WriteTo(dst io.Writer) (int64, error) { return w.g.WriteImage(dst) }
 
 // encodeStoredGraph is the graph-blob wire form: a version byte, the
 // advisory name, the upload time, then the graph's binary encoding
@@ -89,31 +167,43 @@ func encodeStoredGraph(sg *StoredGraph) []byte {
 	return sg.G.AppendBinary(dst)
 }
 
-// decodeStoredGraph is encodeStoredGraph's inverse; id is the blob's
-// backend key (the content fingerprint it was stored under).
-func decodeStoredGraph(id string, blob []byte) (*StoredGraph, error) {
+// decodeStoredMeta parses a graph blob's metadata prefix (version byte,
+// advisory name, upload time) and returns the remaining SPG1 payload
+// undecoded — the mapped recovery path needs the metadata without
+// paying for (or allocating) the decode.
+func decodeStoredMeta(id string, blob []byte) (name string, uploaded time.Time, spg1 []byte, err error) {
 	if len(blob) < 1 || blob[0] != 1 {
-		return nil, fmt.Errorf("serve: graph blob %s: unknown version", id)
+		return "", time.Time{}, nil, fmt.Errorf("serve: graph blob %s: unknown version", id)
 	}
 	p := blob[1:]
 	n, w := binary.Uvarint(p)
 	if w <= 0 || n > uint64(len(p)-w) {
-		return nil, fmt.Errorf("serve: graph blob %s: truncated name", id)
+		return "", time.Time{}, nil, fmt.Errorf("serve: graph blob %s: truncated name", id)
 	}
-	name := string(p[w : w+int(n)])
+	name = string(p[w : w+int(n)])
 	p = p[w+int(n):]
 	nanos, w := binary.Varint(p)
 	if w <= 0 {
-		return nil, fmt.Errorf("serve: graph blob %s: truncated timestamp", id)
+		return "", time.Time{}, nil, fmt.Errorf("serve: graph blob %s: truncated timestamp", id)
 	}
-	g, err := graph.DecodeBinary(p[w:])
+	return name, time.Unix(0, nanos).UTC(), p[w:], nil
+}
+
+// decodeStoredGraph is encodeStoredGraph's inverse; id is the blob's
+// backend key (the content fingerprint it was stored under).
+func decodeStoredGraph(id string, blob []byte) (*StoredGraph, error) {
+	name, uploaded, spg1, err := decodeStoredMeta(id, blob)
+	if err != nil {
+		return nil, err
+	}
+	g, err := graph.DecodeBinary(spg1)
 	if err != nil {
 		return nil, fmt.Errorf("serve: graph blob %s: %w", id, err)
 	}
 	return &StoredGraph{
 		ID: id, Name: name,
 		Vertices: g.N(), Edges: g.M(),
-		Uploaded: time.Unix(0, nanos).UTC(),
+		Uploaded: uploaded,
 		G:        g,
 	}, nil
 }
@@ -143,6 +233,9 @@ func (s *Store) Add(g *graph.Graph, name string) (sg *StoredGraph, existed bool,
 	if perr := s.backend.Put(kindGraph, id, encodeStoredGraph(sg)); perr != nil {
 		return nil, false, fmt.Errorf("%w: %w", ErrPersist, perr)
 	}
+	// Best-effort SPC1 image alongside the durable blob: a large host
+	// re-opens by mmap at recovery instead of re-decoding.
+	s.putImage(id, g)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if prev, ok := s.byID[id]; ok {
@@ -155,38 +248,101 @@ func (s *Store) Add(g *graph.Graph, name string) (sg *StoredGraph, existed bool,
 	return sg, false, nil
 }
 
-// Recover rebuilds the registry from the durable backend: every graph
-// blob is decoded and its content fingerprint re-verified against the
-// key it was stored under — a mismatch means corruption (or a codec
-// drift) and fails recovery loudly rather than serving wrong bytes
-// under a trusted id. Call before serving traffic.
-func (s *Store) Recover() (int, error) {
+// Recover rebuilds the registry from the durable backend. Every graph's
+// content fingerprint is re-verified against the key it was stored
+// under — a mismatch means corruption (or a codec drift) and fails
+// recovery loudly rather than serving wrong bytes under a trusted id.
+//
+// When the backend has a file tier, a graph with a persisted SPC1 image
+// recovers by mmap'ing the image (zero decode, zero heap) and
+// re-verifying the fingerprint of the mapped graph; any image problem —
+// missing file, failed open, wrong fingerprint — silently falls back to
+// decoding the SPG1 blob, because the image is a cache, not the durable
+// copy. mapped counts the graphs serving straight from the page cache.
+// Call before serving traffic.
+func (s *Store) Recover() (recovered, mapped int, err error) {
 	keys, err := s.backend.List(kindGraph)
 	if err != nil {
-		return 0, fmt.Errorf("serve: recover graphs: %w", err)
+		return 0, 0, fmt.Errorf("serve: recover graphs: %w", err)
 	}
-	recovered := 0
 	for _, id := range keys {
 		blob, err := s.backend.Get(kindGraph, id)
 		if err != nil {
-			return recovered, fmt.Errorf("serve: recover graph %s: %w", id, err)
+			return recovered, mapped, fmt.Errorf("serve: recover graph %s: %w", id, err)
 		}
-		sg, err := decodeStoredGraph(id, blob)
+		name, uploaded, spg1, err := decodeStoredMeta(id, blob)
 		if err != nil {
-			return recovered, err
+			return recovered, mapped, err
 		}
-		if fp := FingerprintGraph(sg.G); fp != id {
-			return recovered, fmt.Errorf("serve: recover graph %s: fingerprint mismatch (decoded %s)", id, fp)
+		var sg *StoredGraph
+		m := s.openImage(id)
+		if m != nil {
+			sg = &StoredGraph{
+				ID: id, Name: name,
+				Vertices: m.Graph().N(), Edges: m.Graph().M(),
+				Uploaded: uploaded,
+				G:        m.Graph(),
+			}
+		} else {
+			g, derr := graph.DecodeBinary(spg1)
+			if derr != nil {
+				return recovered, mapped, fmt.Errorf("serve: graph blob %s: %w", id, derr)
+			}
+			if fp := FingerprintGraph(g); fp != id {
+				return recovered, mapped, fmt.Errorf("serve: recover graph %s: fingerprint mismatch (decoded %s)", id, fp)
+			}
+			sg = &StoredGraph{
+				ID: id, Name: name,
+				Vertices: g.N(), Edges: g.M(),
+				Uploaded: uploaded,
+				G:        g,
+			}
+			// The image was missing or bad but the host is image-worthy:
+			// rewrite it so the next restart maps instead of decoding.
+			s.putImage(id, g)
 		}
 		s.mu.Lock()
 		if _, ok := s.byID[id]; !ok {
 			s.byID[id] = sg
 			s.order = append(s.order, id)
 			recovered++
+			if m != nil {
+				s.mapped = append(s.mapped, m)
+				mapped++
+				m = nil
+			}
 		}
 		s.mu.Unlock()
+		if m != nil {
+			m.Close() // lost the registration race; drop the duplicate map
+		}
 	}
-	return recovered, nil
+	return recovered, mapped, nil
+}
+
+// openImage tries the file-tier SPC1 image for id: mmap, structural
+// verification (OpenMapped's streaming pass), then the content
+// fingerprint check that ties the mapped bytes to the id they claim.
+// Any failure returns nil — the caller decodes the SPG1 blob instead.
+func (s *Store) openImage(id string) *graph.Mapped {
+	if s.files == nil || s.imageEdges <= 0 {
+		return nil
+	}
+	path, err := s.files.FilePath(kindImage, id)
+	if err != nil {
+		return nil
+	}
+	m, err := graph.OpenMapped(path)
+	if err != nil {
+		s.imageErrs.Inc()
+		return nil
+	}
+	if fp := FingerprintGraph(m.Graph()); fp != id {
+		s.imageErrs.Inc()
+		m.Close()
+		return nil
+	}
+	return m
 }
 
 // ReadLG parses an LG-format graph from r and registers it. Malformed

@@ -1,0 +1,115 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+)
+
+func TestDiskFileBackendRoundTrip(t *testing.T) {
+	d, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	var fb FileBackend = d // compile-time: Disk implements the capability
+	if _, err := fb.FilePath("images", "abc123"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing file: got %v, want ErrNotFound", err)
+	}
+	content := []byte("spc1 image payload stand-in")
+	if err := fb.PutFile("images", "abc123", bytes.NewReader(content)); err != nil {
+		t.Fatal(err)
+	}
+	path, err := fb.FilePath("images", "abc123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatalf("file content %q, want %q", got, content)
+	}
+
+	// Overwrite replaces atomically.
+	repl := []byte("replacement")
+	if err := fb.PutFile("images", "abc123", bytes.NewReader(repl)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = os.ReadFile(path); !bytes.Equal(got, repl) {
+		t.Fatalf("after overwrite: %q, want %q", got, repl)
+	}
+
+	st := d.Stats()
+	if st.FilePuts != 2 {
+		t.Fatalf("FilePuts = %d, want 2", st.FilePuts)
+	}
+	if st.BytesWritten < uint64(len(content)+len(repl)) {
+		t.Fatalf("BytesWritten = %d, too small", st.BytesWritten)
+	}
+
+	if err := fb.DeleteFile("images", "abc123"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fb.FilePath("images", "abc123"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted file: got %v, want ErrNotFound", err)
+	}
+	if err := fb.DeleteFile("images", "abc123"); err != nil {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestDiskFileBackendSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PutFile("images", "deadbeef", bytes.NewReader([]byte("x"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if _, err := d2.FilePath("images", "deadbeef"); err != nil {
+		t.Fatalf("file lost across reopen: %v", err)
+	}
+}
+
+func TestFileBackendRejectsHostileNames(t *testing.T) {
+	d, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for _, bad := range [][2]string{
+		{"", "k"}, {"images", ""}, {"..", "k"}, {"images", ".."},
+		{"images", "a/b"}, {"images", `a\b`}, {"a/b", "k"}, {".", "k"},
+		{"images", "k\x00x"},
+	} {
+		if err := d.PutFile(bad[0], bad[1], bytes.NewReader(nil)); err == nil {
+			t.Errorf("PutFile(%q, %q) accepted", bad[0], bad[1])
+		}
+		if _, err := d.FilePath(bad[0], bad[1]); err == nil {
+			t.Errorf("FilePath(%q, %q) accepted", bad[0], bad[1])
+		}
+		if err := d.DeleteFile(bad[0], bad[1]); err == nil {
+			t.Errorf("DeleteFile(%q, %q) accepted", bad[0], bad[1])
+		}
+	}
+}
+
+func TestMemoryIsNotFileBackend(t *testing.T) {
+	var b Backend = NewMemory()
+	if _, ok := b.(FileBackend); ok {
+		t.Fatal("Memory unexpectedly implements FileBackend; the serving layer's feature-test would stop exercising the fallback path")
+	}
+}

@@ -31,6 +31,7 @@ func NewMemory() *Memory {
 // atomics so hot paths never serialize on a stats lock.
 type backendStats struct {
 	puts, gets, deletes, appends atomic.Uint64
+	filePuts                     atomic.Uint64
 	bytesWritten, bytesRead      atomic.Uint64
 	fsyncs                       atomic.Uint64
 	recoveryTruncations          atomic.Uint64
@@ -44,6 +45,7 @@ func (s *backendStats) snapshot() Stats {
 		Gets:                    s.gets.Load(),
 		Deletes:                 s.deletes.Load(),
 		JournalAppends:          s.appends.Load(),
+		FilePuts:                s.filePuts.Load(),
 		BytesWritten:            s.bytesWritten.Load(),
 		BytesRead:               s.bytesRead.Load(),
 		Fsyncs:                  s.fsyncs.Load(),

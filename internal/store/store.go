@@ -79,6 +79,9 @@ type Stats struct {
 	Gets           uint64 `json:"gets"`
 	Deletes        uint64 `json:"deletes"`
 	JournalAppends uint64 `json:"journal_appends"`
+	// FilePuts counts whole-file artifacts written through the optional
+	// FileBackend capability (Disk only).
+	FilePuts uint64 `json:"file_puts"`
 	// BytesWritten / BytesRead count payload traffic to and from the
 	// medium (for Disk: framed log bytes; for Memory: blob bytes).
 	BytesWritten uint64 `json:"bytes_written"`

@@ -35,6 +35,11 @@ type (
 	Embedding = pattern.Embedding
 	// DB is a graph-transaction database.
 	DB = txdb.DB
+	// Mapped is an open handle to an mmap'd SPC1 graph image (see
+	// OpenMapped); its Graph is invalid after Close.
+	Mapped = graph.Mapped
+	// Advice is an access-pattern hint for Mapped.Advise.
+	Advice = graph.Advice
 
 	// SyntheticConfig parameterizes the paper's §5.1 single-graph
 	// generator (ER background + injected patterns).
@@ -58,6 +63,24 @@ func FromEdges(labels []Label, edges []Edge) *Graph { return graph.FromEdges(lab
 
 // ReadLG parses a graph in LG format (# name / v id label / e u w).
 func ReadLG(r io.Reader) (*Graph, string, error) { return graph.ReadLG(r) }
+
+// OpenMapped mmaps an SPC1 graph image written by Graph.WriteImage /
+// WriteImageFile: the returned handle's Graph reads straight from the
+// page cache with zero decoding and O(1) open-time allocations, after a
+// streaming verification pass. A mapped host mines identically to its
+// in-RAM twin (README §Out-of-core). Close the handle when done; Clone
+// the graph first if it must outlive the mapping.
+func OpenMapped(path string) (*Mapped, error) { return graph.OpenMapped(path) }
+
+// OpenMappedTrusted is OpenMapped without the verification pass — O(1)
+// total. Only for images this process (or a fingerprint check) already
+// verified; a hostile image can crash the process.
+func OpenMappedTrusted(path string) (*Mapped, error) { return graph.OpenMappedTrusted(path) }
+
+// OpenImage opens an SPC1 image already sitting in memory, aliasing the
+// graph onto data (which must stay live and unmodified while the graph
+// is in use).
+func OpenImage(data []byte) (*Graph, error) { return graph.OpenImage(data) }
 
 // NewDB builds a transaction database over the given graphs.
 func NewDB(gs ...*Graph) *DB { return txdb.New(gs...) }

@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # bench.sh — record the benchmark trajectory for the hot paths the
-# performance PRs guard: Stage I / full-pipeline mining (sequential and
-# per-worker-count parallel), canonical-code computation, and embedding
-# enumeration. Runs each suite with fixed flags and writes a JSON map
+# performance PRs guard: Stage I / full-pipeline mining (sequential,
+# per-worker-count parallel, and mmap'd out-of-core), canonical-code
+# computation, embedding enumeration, and the SPC1 image open/write
+# paths against the SPG1 decode baseline. Runs each suite with fixed
+# flags and writes a JSON map
 #
 #   { "num_cpu": <int>,
 #     "<benchmark name>": {"ns_per_op": <float>, "allocs_per_op": <int>,
 #                          "speedup": <float>}, ... }
 #
-# to the output file (default BENCH_PR8.json in the repo root; pass a
+# to the output file (default BENCH_PR10.json in the repo root; pass a
 # path to override). Names are stripped of the -GOMAXPROCS suffix so the
 # keys stay stable across machines; "speedup" appears only on the
 # FullPipelineParallel sub-benchmarks (wall-clock vs. an in-process
@@ -19,13 +21,19 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR8.json}"
+out="${1:-BENCH_PR10.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 # Pipeline-level benchmarks (root package; Quick-scale experiment driver),
 # including the parallel engine at workers=1/2/4/8.
-go test -run=NONE -bench='StageI|FullPipelineGID1$|FullPipelineParallel' -benchtime=10x -benchmem -count=1 . | tee -a "$tmp"
+go test -run=NONE -bench='StageISpiderMining|FullPipelineGID1$|FullPipelineParallel|FullPipelineMapped' -benchtime=10x -benchmem -count=1 . | tee -a "$tmp"
+# Out-of-core Stage I over a million-edge mmap'd BA host: one iteration —
+# the graph generation dominates setup, the measured loop is the mine.
+go test -run=NONE -bench='StageIOutOfCoreBA1M' -benchtime=1x -benchmem -count=1 -timeout=20m . | tee -a "$tmp"
+# SPC1 image open/write vs the SPG1 decode baseline (50k-vertex host):
+# mapped-open ns is the number the zero-decode claim rides on.
+go test -run=NONE -bench='OpenMapped|WriteImage|DecodeBinary' -benchtime=20x -benchmem -count=1 ./internal/graph/ | tee -a "$tmp"
 # Substrate benchmarks: canonical codes (existing corpus + the symmetric
 # shapes the pre-v2 search blew up on), the matcher, and the warm Stage I
 # engine (steady-state table reuse; must stay at 0 allocs/op).
